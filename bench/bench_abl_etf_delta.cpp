@@ -1,0 +1,69 @@
+// Ablation A (DESIGN.md §7): the ETF delta parameter. The paper chose
+// 200 us citing Bosk et al., who note "a higher value could reduce packet
+// drops". Two sweeps:
+//   1. Precision vs delta (paper configuration: missed launches transmit
+//      immediately) — larger deltas hand packets to the driver earlier
+//      and the spread grows.
+//   2. TSN-strict LaunchTime (missed slot = drop): unless delta covers the
+//      kernel/driver path time, descriptors reach the NIC after their
+//      launch time and are dropped — the Bosk et al. trade-off.
+#include "bench_common.hpp"
+
+using namespace quicsteps;
+using namespace quicsteps::bench;
+
+int main() {
+  print_header("ablA", "ETF delta sweep (design-choice ablation)");
+
+  const std::int64_t deltas_us[] = {25, 50, 100, 200, 400, 1000, 2000};
+
+  std::printf("-- paper configuration (missed launch transmits anyway) --\n");
+  std::printf("%-12s %16s %16s\n", "delta [us]", "precision [ms]",
+              "goodput [Mbit/s]");
+  std::printf("%s\n", std::string(46, '-').c_str());
+  for (auto delta : deltas_us) {
+    auto config = base_config("etf-" + std::to_string(delta));
+    config.stack = framework::StackKind::kQuicheSf;
+    config.topology.server_qdisc = framework::QdiscKind::kEtfOffload;
+    config.topology.etf.delta = sim::Duration::micros(delta);
+    auto agg = run(config);
+    std::printf("%-12lld %16s %16s\n", static_cast<long long>(delta),
+                agg.precision_ms.to_string(3).c_str(),
+                agg.goodput_mbps.to_string(2).c_str());
+  }
+
+  std::printf(
+      "\n-- TSN-strict LaunchTime (missed slot = drop, Bosk et al.) --\n");
+  std::printf("%-12s %18s %16s\n", "delta [us]", "missed-slot share",
+              "goodput [Mbit/s]");
+  std::printf("%s\n", std::string(48, '-').c_str());
+  for (auto delta : deltas_us) {
+    auto config = base_config("etf-strict-" + std::to_string(delta));
+    config.stack = framework::StackKind::kQuicheSf;
+    config.topology.server_qdisc = framework::QdiscKind::kEtfOffload;
+    config.topology.etf.delta = sim::Duration::micros(delta);
+    config.topology.drop_missed_launch = true;
+    // A strict-launch deployment stamps txtimes delta ahead of the
+    // pacer's release so the qdisc+driver path can complete in time.
+    config.txtime_headroom = sim::Duration::micros(delta);
+    auto runs = framework::Runner::run_all(config);
+    auto agg = framework::aggregate(config.label, runs);
+    double missed = 0.0;
+    for (const auto& r : runs) {
+      if (r.packets_sent > 0) {
+        missed += 1.0 - static_cast<double>(r.wire_data_packets) /
+                            static_cast<double>(r.packets_sent);
+      }
+    }
+    missed /= static_cast<double>(runs.size());
+    std::printf("%-12lld %17.1f%% %16s\n", static_cast<long long>(delta),
+                100.0 * missed, agg.goodput_mbps.to_string(2).c_str());
+  }
+
+  print_paper_note(
+      "Section 4.4 — the paper uses delta = 200 us (Bosk et al. suggest "
+      "175 us). Precision degrades as delta grows (packets spend longer in "
+      "the uncontrolled driver path); under TSN-strict launch semantics, "
+      "small deltas drop the packets whose descriptors arrive late.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared plumbing for the reproduction benches: one experiment per paper
+// artifact, scaled transfers (env-tunable), and paper-vs-measured output.
+//
+//   QUICSTEPS_PAYLOAD_MIB  transfer size per repetition (default 10; the
+//                          paper used 100)
+//   QUICSTEPS_REPS         repetitions per configuration (default 5; the
+//                          paper used 20)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/quicsteps.hpp"
+
+namespace quicsteps::bench {
+
+inline framework::ExperimentConfig base_config(const std::string& label) {
+  framework::ExperimentConfig config;
+  config.label = label;
+  config.payload_bytes = framework::env_payload_bytes();
+  config.repetitions = framework::env_repetitions();
+  config.seed = 1;
+  return config;
+}
+
+inline framework::Aggregate run(const framework::ExperimentConfig& config) {
+  return framework::aggregate(config.label,
+                              framework::Runner::run_all(config));
+}
+
+inline void print_header(const char* id, const char* what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf(
+      "payload %lld MiB x %d repetition(s); paper: 100 MiB x 20. Compare\n"
+      "SHAPES (orderings, factors, crossovers), not absolute testbed values.\n",
+      static_cast<long long>(framework::env_payload_bytes() / (1024 * 1024)),
+      framework::env_repetitions());
+  std::printf("================================================================\n");
+}
+
+inline void print_paper_note(const char* note) {
+  std::printf("\npaper reference: %s\n", note);
+}
+
+}  // namespace quicsteps::bench

@@ -1,0 +1,33 @@
+// Reproduces Figure 2: CDF of inter-packet gaps for the baseline
+// measurement (default qdisc, CUBIC) across all four stacks.
+#include "bench_common.hpp"
+
+using namespace quicsteps;
+using namespace quicsteps::bench;
+
+int main() {
+  print_header("fig2", "baseline inter-packet gap CDFs (Figure 2)");
+
+  const framework::StackKind stacks[] = {
+      framework::StackKind::kQuiche, framework::StackKind::kPicoquic,
+      framework::StackKind::kNgtcp2, framework::StackKind::kTcpTls};
+
+  std::vector<framework::Aggregate> rows;
+  for (auto stack : stacks) {
+    auto config = base_config(framework::to_string(stack));
+    config.stack = stack;
+    config.cca = cc::CcAlgorithm::kCubic;
+    rows.push_back(run(config));
+  }
+
+  std::fputs(framework::render_gap_figure(
+                 rows, "Baseline inter-packet gap CDF (x in ms)", 2.0)
+                 .c_str(),
+             stdout);
+
+  print_paper_note(
+      "Figure 2 — ~50 % of packets are sent back-to-back for every stack "
+      "(picoquic slightly fewer at ~40 %), and the majority of gaps stay "
+      "below 1.5 ms.");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Figure 3: distribution of packets across packet-train lengths
+// (0.1 ms threshold) for the baseline measurement.
+#include "bench_common.hpp"
+
+using namespace quicsteps;
+using namespace quicsteps::bench;
+
+int main() {
+  print_header("fig3", "baseline packet-train distribution (Figure 3)");
+
+  const framework::StackKind stacks[] = {
+      framework::StackKind::kQuiche, framework::StackKind::kPicoquic,
+      framework::StackKind::kNgtcp2, framework::StackKind::kTcpTls};
+
+  std::vector<framework::Aggregate> rows;
+  for (auto stack : stacks) {
+    auto config = base_config(framework::to_string(stack));
+    config.stack = stack;
+    config.cca = cc::CcAlgorithm::kCubic;
+    rows.push_back(run(config));
+  }
+
+  std::fputs(framework::render_train_figure(
+                 rows, "Baseline: share of packets per train length")
+                 .c_str(),
+             stdout);
+
+  print_paper_note(
+      "Figure 3 — TCP/TLS and ngtcp2 keep >99.9 % of packets in trains of "
+      "<=5; quiche reaches ~89 % with an even 6-20 tail; picoquic only 60 % "
+      "because ~40 % of its packets ride in 16-17 packet bucket bursts.");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 4: per-library comparison of inter-packet gaps and
+// packet-train lengths across congestion controllers (CUBIC, NewReno, BBR).
+#include "bench_common.hpp"
+
+using namespace quicsteps;
+using namespace quicsteps::bench;
+
+int main() {
+  print_header("fig4", "per-stack CCA comparison (Figure 4)");
+
+  const framework::StackKind stacks[] = {framework::StackKind::kPicoquic,
+                                         framework::StackKind::kQuiche,
+                                         framework::StackKind::kNgtcp2};
+  const cc::CcAlgorithm ccas[] = {cc::CcAlgorithm::kCubic,
+                                  cc::CcAlgorithm::kNewReno,
+                                  cc::CcAlgorithm::kBbr};
+
+  for (auto stack : stacks) {
+    std::vector<framework::Aggregate> rows;
+    for (auto cca : ccas) {
+      std::string label = std::string(framework::to_string(stack)) + "+" +
+                          cc::to_string(cca);
+      auto config = base_config(label);
+      config.stack = stack;
+      config.cca = cca;
+      rows.push_back(run(config));
+    }
+    std::string title =
+        std::string(framework::to_string(stack)) + ": gaps across CCAs";
+    std::fputs(framework::render_gap_figure(rows, title, 2.0).c_str(),
+               stdout);
+    title = std::string(framework::to_string(stack)) +
+            ": packet trains across CCAs";
+    std::fputs(framework::render_train_figure(rows, title).c_str(), stdout);
+
+    std::printf("\n%-22s %18s %14s\n", "configuration", "declared lost",
+                "goodput");
+    for (const auto& row : rows) {
+      std::printf("%-22s %18s %11s Mb\n", row.label.c_str(),
+                  row.declared_lost.to_string(1).c_str(),
+                  row.goodput_mbps.to_string(2).c_str());
+    }
+    std::printf("\n");
+  }
+
+  print_paper_note(
+      "Figure 4 — picoquic with BBR is near-perfectly spaced (its rate-based "
+      "user-space waits); with CUBIC/NewReno it bursts 16-17 packet trains. "
+      "quiche and ngtcp2 pace no better under BBR than their baselines. "
+      "(ngtcp2's BBR loss explosion is NOT reproduced: our ngtcp2 model's "
+      "flow-control cap — the documented substitution for its deterministic "
+      "15.93 Mbit/s — also prevents BBRv1 overshoot; see EXPERIMENTS.md.)");
+  return 0;
+}

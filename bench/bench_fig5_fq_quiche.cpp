@@ -1,0 +1,61 @@
+// Reproduces Figure 5 (and the Section 4.2 narrative): the impact of the
+// FQ qdisc on quiche, with and without the SF patch that disables the
+// spurious-loss rollback.
+#include "bench_common.hpp"
+
+using namespace quicsteps;
+using namespace quicsteps::bench;
+
+int main() {
+  print_header("fig5", "FQ qdisc impact on quiche, SF patch (Figure 5)");
+
+  struct Variant {
+    const char* label;
+    framework::StackKind stack;
+    framework::QdiscKind qdisc;
+  };
+  const Variant variants[] = {
+      {"baseline", framework::StackKind::kQuiche,
+       framework::QdiscKind::kFqCodel},
+      {"baseline-sf", framework::StackKind::kQuicheSf,
+       framework::QdiscKind::kFqCodel},
+      {"fq", framework::StackKind::kQuiche, framework::QdiscKind::kFq},
+      {"fq-sf", framework::StackKind::kQuicheSf, framework::QdiscKind::kFq},
+  };
+
+  std::vector<framework::Aggregate> rows;
+  for (const auto& variant : variants) {
+    auto config = base_config(variant.label);
+    config.stack = variant.stack;
+    config.cca = cc::CcAlgorithm::kCubic;
+    config.topology.server_qdisc = variant.qdisc;
+    rows.push_back(run(config));
+  }
+
+  std::fputs(framework::render_train_figure(
+                 rows, "quiche trains: baseline vs FQ, rollback vs SF")
+                 .c_str(),
+             stdout);
+  std::fputs(framework::render_gap_figure(
+                 rows, "quiche gaps: baseline vs FQ, rollback vs SF", 2.0)
+                 .c_str(),
+             stdout);
+  std::fputs(framework::render_goodput_table(
+                 rows, "quiche goodput/drops: baseline vs FQ")
+                 .c_str(),
+             stdout);
+
+  std::printf("\n%-14s %20s\n", "configuration", "cwnd rollbacks");
+  for (const auto& row : rows) {
+    std::printf("%-14s %20s\n", row.label.c_str(),
+                row.rollbacks.to_string(1).c_str());
+  }
+
+  print_paper_note(
+      "Section 4.2 — with FQ, quiche's goodput worsens to 33.64±0.89 and "
+      "drops rise to 1022.55±324.33 because paced (small) loss cycles stay "
+      "under the spurious-loss threshold and the congestion window rolls "
+      "back perpetually; with the SF patch, FQ makes trains >5 rare while "
+      "the unpatched baseline keeps >10 % of packets in longer trains.");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Micro-benchmarks (google-benchmark) for the hot simulation paths: event
+// scheduling, qdisc enqueue/dequeue, pacer decisions, and the capture
+// analyzers. These bound how large an experiment the framework can run.
+#include <benchmark/benchmark.h>
+
+#include "kernel/os_model.hpp"
+#include "kernel/qdisc_fq.hpp"
+#include "kernel/qdisc_tbf.hpp"
+#include "metrics/gap_analyzer.hpp"
+#include "metrics/train_analyzer.hpp"
+#include "pacing/interval_pacer.hpp"
+#include "pacing/leaky_bucket_pacer.hpp"
+#include "sim/event_loop.hpp"
+
+namespace {
+
+using namespace quicsteps;
+using namespace quicsteps::sim::literals;
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    long sum = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      loop.schedule_after(sim::Duration::micros(i % 997), [&sum] { ++sum; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventLoopScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_EventLoopCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(static_cast<std::size_t>(state.range(0)));
+    for (int i = 0; i < state.range(0); ++i) {
+      handles.push_back(loop.schedule_after(1_ms, [] {}));
+    }
+    for (auto& handle : handles) handle.cancel();
+    loop.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventLoopCancel)->Arg(10000);
+
+net::Packet bench_packet(std::uint64_t id) {
+  net::Packet pkt;
+  pkt.id = id;
+  pkt.size_bytes = 1500;
+  return pkt;
+}
+
+void BM_FqEnqueueDequeue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    kernel::OsModel os({}, sim::Rng(1));
+    net::CollectorSink sink;
+    kernel::FqQdisc fq(loop, {}, os, &sink);
+    for (int i = 0; i < state.range(0); ++i) {
+      net::Packet pkt = bench_packet(static_cast<std::uint64_t>(i));
+      pkt.has_txtime = true;
+      pkt.txtime = sim::Time::zero() + sim::Duration::micros(i * 300);
+      fq.deliver(std::move(pkt));
+    }
+    loop.run();
+    benchmark::DoNotOptimize(sink.packets().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FqEnqueueDequeue)->Arg(1000);
+
+void BM_TbfShaping(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    net::CollectorSink sink;
+    kernel::TbfQdisc tbf(loop,
+                         {.rate = net::DataRate::megabits_per_second(40),
+                          .burst_bytes = 3000,
+                          .limit_bytes = 1 << 24},
+                         &sink);
+    for (int i = 0; i < state.range(0); ++i) {
+      tbf.deliver(bench_packet(static_cast<std::uint64_t>(i)));
+    }
+    loop.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TbfShaping)->Arg(1000);
+
+void BM_IntervalPacerDecision(benchmark::State& state) {
+  pacing::IntervalPacer pacer;
+  const auto rate = net::DataRate::megabits_per_second(40);
+  sim::Time now;
+  for (auto _ : state) {
+    const sim::Time release = pacer.earliest_send_time(now, 1500, rate);
+    pacer.on_packet_sent(release, 1500, rate);
+    now = release;
+    benchmark::DoNotOptimize(release);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntervalPacerDecision);
+
+void BM_LeakyBucketDecision(benchmark::State& state) {
+  pacing::LeakyBucketPacer pacer(16 * 1500);
+  const auto rate = net::DataRate::megabits_per_second(40);
+  sim::Time now;
+  for (auto _ : state) {
+    const sim::Time release = pacer.earliest_send_time(now, 1500, rate);
+    pacer.on_packet_sent(release, 1500, rate);
+    now = release;
+    benchmark::DoNotOptimize(release);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeakyBucketDecision);
+
+std::vector<net::Packet> synthetic_capture(int n) {
+  std::vector<net::Packet> capture;
+  capture.reserve(static_cast<std::size_t>(n));
+  sim::Time t;
+  for (int i = 0; i < n; ++i) {
+    net::Packet pkt = bench_packet(static_cast<std::uint64_t>(i));
+    pkt.flow = 1;
+    pkt.wire_time = t;
+    t += (i % 7 == 0) ? 1_ms : 12_us;
+    capture.push_back(std::move(pkt));
+  }
+  return capture;
+}
+
+void BM_GapAnalysis(benchmark::State& state) {
+  auto capture = synthetic_capture(static_cast<int>(state.range(0)));
+  metrics::GapAnalyzer analyzer;
+  for (auto _ : state) {
+    auto report = analyzer.analyze(capture);
+    benchmark::DoNotOptimize(report.back_to_back_fraction);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GapAnalysis)->Arg(100000);
+
+void BM_TrainAnalysis(benchmark::State& state) {
+  auto capture = synthetic_capture(static_cast<int>(state.range(0)));
+  metrics::TrainAnalyzer analyzer;
+  for (auto _ : state) {
+    auto report = analyzer.analyze(capture);
+    benchmark::DoNotOptimize(report.total_packets);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrainAnalysis)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Reproduces Section 4.4: pacing precision — the standard deviation of
+// (actual wire timestamp − intended send timestamp) per packet — for the
+// default qdisc, FQ, software ETF, and ETF with LaunchTime offload.
+// Measured without GSO, as in the paper.
+#include "bench_common.hpp"
+
+using namespace quicsteps;
+using namespace quicsteps::bench;
+
+int main() {
+  print_header("sec44", "pacing precision per qdisc (Section 4.4)");
+
+  struct Variant {
+    const char* label;
+    framework::QdiscKind qdisc;
+  };
+  const Variant variants[] = {
+      {"baseline", framework::QdiscKind::kFqCodel},
+      {"fq", framework::QdiscKind::kFq},
+      {"etf", framework::QdiscKind::kEtf},
+      {"etf+launchtime", framework::QdiscKind::kEtfOffload},
+  };
+
+  std::vector<framework::Aggregate> rows;
+  for (const auto& variant : variants) {
+    auto config = base_config(variant.label);
+    config.stack = framework::StackKind::kQuicheSf;
+    config.cca = cc::CcAlgorithm::kCubic;
+    config.topology.server_qdisc = variant.qdisc;
+    config.gso = kernel::GsoMode::kOff;
+    rows.push_back(run(config));
+  }
+
+  std::fputs(framework::render_precision_table(
+                 rows, "Precision: stddev of wire-vs-intended send time")
+                 .c_str(),
+             stdout);
+
+  print_paper_note(
+      "Section 4.4 — baseline 0.94 ms (kernel ignores timestamps), FQ "
+      "0.12 ms, ETF 0.27 ms, ETF+LaunchTime 0.28 ms. Shape targets: FQ is "
+      "the most precise; hardware offload does NOT beat software ETF; the "
+      "baseline is far worse than any timestamp-honoring qdisc.");
+  return 0;
+}

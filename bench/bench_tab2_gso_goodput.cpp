@@ -1,0 +1,46 @@
+// Reproduces Table 2: goodput and dropped packets for the GSO variants —
+// and the HyStart++ interaction that explains them (bursty GSO inflates
+// the RTT fast, exits slow start early, loses little; smooth traffic
+// overshoots and loses ~10x more).
+#include "bench_common.hpp"
+
+using namespace quicsteps;
+using namespace quicsteps::bench;
+
+int main() {
+  print_header("tab2", "GSO goodput and drops, HyStart++ effect (Table 2)");
+
+  struct Variant {
+    const char* label;
+    kernel::GsoMode gso;
+  };
+  const Variant variants[] = {
+      {"enabled", kernel::GsoMode::kOn},
+      {"disabled", kernel::GsoMode::kOff},
+      {"paced", kernel::GsoMode::kPaced},
+  };
+
+  std::vector<framework::Aggregate> rows;
+  for (const auto& variant : variants) {
+    auto config = base_config(variant.label);
+    config.stack = framework::StackKind::kQuicheSf;
+    config.cca = cc::CcAlgorithm::kCubic;
+    config.topology.server_qdisc = framework::QdiscKind::kFq;
+    config.gso = variant.gso;
+    config.gso_segments = 16;
+    rows.push_back(run(config));
+  }
+
+  std::fputs(framework::render_goodput_table(
+                 rows, "quiche + FQ: GSO variants (Table 2)")
+                 .c_str(),
+             stdout);
+
+  print_paper_note(
+      "Table 2 — enabled: 6.35 dropped / 31.06±0.33 Mbit/s; disabled: "
+      "160.80 / 31.71±0.08; paced: 166.20 / 31.71±0.07. Shape targets: "
+      "paced ≈ disabled, both with ~10x the loss of stock GSO (HyStart++ "
+      "exits early only under bursty GSO), and stock GSO slightly lower "
+      "goodput.");
+  return 0;
+}

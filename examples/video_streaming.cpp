@@ -1,0 +1,100 @@
+// Video streaming scenario (the paper's motivating application).
+//
+// A DASH-like player fetches media segments over QUIC; each segment is one
+// request on a fresh connection (worst case for slow start, as with CDN
+// connection churn). We compare stacks and pacing setups on the metrics a
+// streaming service cares about: segment download time (rebuffer risk),
+// burstiness on the wire (set-top-box and home-router queue pressure), and
+// loss at the access-link bottleneck.
+//
+// Usage: video_streaming [segment_MiB] [segments]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/quicsteps.hpp"
+
+using namespace quicsteps;
+
+namespace {
+
+struct StreamVerdict {
+  std::string label;
+  double mean_segment_seconds = 0;
+  double worst_segment_seconds = 0;
+  double burst_share = 0;  // packets in trains > 5
+  double drops_per_segment = 0;
+};
+
+StreamVerdict stream(const std::string& label, framework::StackKind stack,
+                     cc::CcAlgorithm cca, framework::QdiscKind qdisc,
+                     std::int64_t segment_bytes, int segments) {
+  StreamVerdict verdict;
+  verdict.label = label;
+  double total = 0;
+  for (int seg = 0; seg < segments; ++seg) {
+    framework::ExperimentConfig config;
+    config.label = label;
+    config.stack = stack;
+    config.cca = cca;
+    config.topology.server_qdisc = qdisc;
+    config.payload_bytes = segment_bytes;
+    auto run = framework::Runner::run_once(config, 100 + seg);
+    const double seconds = run.goodput.elapsed.to_seconds();
+    total += seconds;
+    verdict.worst_segment_seconds =
+        std::max(verdict.worst_segment_seconds, seconds);
+    verdict.burst_share += 1.0 - run.trains.fraction_in_trains_up_to(5);
+    verdict.drops_per_segment += static_cast<double>(run.dropped_packets);
+  }
+  verdict.mean_segment_seconds = total / segments;
+  verdict.burst_share /= segments;
+  verdict.drops_per_segment /= segments;
+  return verdict;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t segment_bytes =
+      (argc > 1 ? std::atoll(argv[1]) : 4) * 1024 * 1024;
+  const int segments = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  std::printf(
+      "video streaming scenario: %lld MiB segments x %d, 40 Mbit/s access "
+      "link, 40 ms RTT\n(a 4 MiB segment is ~4 s of 8 Mbit/s video; "
+      "download time near or above\nsegment duration means rebuffering)\n\n",
+      static_cast<long long>(segment_bytes / (1024 * 1024)), segments);
+
+  std::vector<StreamVerdict> verdicts = {
+      stream("quiche (default)", framework::StackKind::kQuiche,
+             cc::CcAlgorithm::kCubic, framework::QdiscKind::kFqCodel,
+             segment_bytes, segments),
+      stream("quiche + FQ + SF", framework::StackKind::kQuicheSf,
+             cc::CcAlgorithm::kCubic, framework::QdiscKind::kFq,
+             segment_bytes, segments),
+      stream("picoquic + BBR", framework::StackKind::kPicoquic,
+             cc::CcAlgorithm::kBbr, framework::QdiscKind::kFqCodel,
+             segment_bytes, segments),
+      stream("ngtcp2", framework::StackKind::kNgtcp2,
+             cc::CcAlgorithm::kCubic, framework::QdiscKind::kFqCodel,
+             segment_bytes, segments),
+  };
+
+  std::printf("%-18s %12s %12s %14s %12s\n", "configuration", "mean [s]",
+              "worst [s]", "bursty pkts", "drops/seg");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  for (const auto& v : verdicts) {
+    std::printf("%-18s %12.2f %12.2f %13.1f%% %12.1f\n", v.label.c_str(),
+                v.mean_segment_seconds, v.worst_segment_seconds,
+                100.0 * v.burst_share, v.drops_per_segment);
+  }
+
+  std::printf(
+      "\nreading: picoquic+BBR and quiche+FQ keep the wire smooth (low "
+      "bursty share)\nwhile matching download times; ngtcp2's conservative "
+      "client caps throughput\nand risks rebuffering on larger segments — "
+      "the per-application trade-offs the\npaper's conclusion points at.\n");
+  return 0;
+}

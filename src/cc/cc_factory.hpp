@@ -1,0 +1,33 @@
+// Factory assembling a congestion controller from experiment configuration.
+#pragma once
+
+#include <memory>
+
+#include "cc/bbr.hpp"
+#include "cc/congestion_controller.hpp"
+#include "cc/cubic.hpp"
+#include "cc/new_reno.hpp"
+
+namespace quicsteps::cc {
+
+struct CcConfig {
+  CcAlgorithm algorithm = CcAlgorithm::kCubic;
+  bool hystart = true;
+  /// HyStart++ tuning; TCP uses css_rounds=0 for classic immediate exit.
+  HystartPP::Config hystart_config = {};
+  /// See Cubic::Config::slow_start_ack_divisor (TCP model uses 2).
+  int slow_start_ack_divisor = 1;
+  /// quiche's spurious-loss rollback (Section 4.2 / SF patch disables it).
+  bool spurious_loss_rollback = false;
+  std::int64_t rollback_threshold_packets = 5;
+  /// quiche scales the spurious-loss threshold with the window: rollback
+  /// when lost < max(packets, fraction * cwnd/MSS). Zero disables scaling.
+  double rollback_threshold_cwnd_fraction = 0.0;
+  /// ngtcp2-style cwnd validation (grow only when cwnd-limited).
+  bool require_cwnd_limited_growth = false;
+  BbrFlavor bbr_flavor = BbrFlavor::kV1;
+};
+
+std::unique_ptr<CongestionController> make_controller(const CcConfig& config);
+
+}  // namespace quicsteps::cc

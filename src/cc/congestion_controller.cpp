@@ -1,0 +1,17 @@
+#include "cc/congestion_controller.hpp"
+
+namespace quicsteps::cc {
+
+const char* to_string(CcAlgorithm algo) {
+  switch (algo) {
+    case CcAlgorithm::kNewReno:
+      return "newreno";
+    case CcAlgorithm::kCubic:
+      return "cubic";
+    case CcAlgorithm::kBbr:
+      return "bbr";
+  }
+  return "?";
+}
+
+}  // namespace quicsteps::cc

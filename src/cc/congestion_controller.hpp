@@ -1,0 +1,93 @@
+// Congestion-controller interface shared by the QUIC and TCP models.
+//
+// The controllers mirror what the measured stacks run:
+//   * NewReno  — RFC 9002 Appendix B.
+//   * CUBIC    — RFC 9438, with HyStart++ (RFC 9406) and, optionally, the
+//                quiche spurious-loss checkpoint/rollback mechanism that
+//                Section 4.2 of the paper dissects.
+//   * BBR      — BBRv1 state machine with a per-stack flavor knob, because
+//                the paper's three stacks ship meaningfully different BBRs.
+//
+// The transport feeds controllers pre-digested events (AckSample /
+// LossSample) that already carry RTT statistics and a delivery-rate sample,
+// so each algorithm is purely functional over its own state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/data_rate.hpp"
+#include "sim/time.hpp"
+
+namespace quicsteps::cc {
+
+/// Wire bytes of a full-sized datagram in all experiments (QUIC and TCP
+/// models both send full MTU packets; the paper's metrics are per-packet).
+inline constexpr std::int64_t kMaxDatagramSize = 1500;
+
+/// RFC 9002 initial window: min(10 * max_datagram_size, ...).
+inline constexpr std::int64_t kInitialWindow = 10 * kMaxDatagramSize;
+inline constexpr std::int64_t kMinimumWindow = 2 * kMaxDatagramSize;
+
+struct AckSample {
+  sim::Time now;
+  /// Bytes newly acknowledged by this ACK event.
+  std::int64_t acked_bytes = 0;
+  std::uint64_t largest_acked_pn = 0;
+  sim::Time largest_acked_sent_time;
+  /// Latest RTT sample (zero duration when the ACK carried none).
+  sim::Duration latest_rtt;
+  sim::Duration smoothed_rtt;
+  sim::Duration min_rtt;
+  /// Bytes in flight after removing the acked packets.
+  std::int64_t bytes_in_flight = 0;
+  /// Delivery-rate sample for this ACK (BBR input); zero if unavailable.
+  net::DataRate bandwidth_sample;
+  /// True when the sample was taken while the sender was app/pacer limited.
+  bool app_limited = false;
+  /// Total bytes delivered so far (BBR round counting).
+  std::int64_t delivered_bytes = 0;
+};
+
+struct LossSample {
+  sim::Time now;
+  std::int64_t lost_bytes = 0;
+  std::int64_t lost_packets = 0;
+  std::uint64_t largest_lost_pn = 0;
+  /// Send time of the most recently sent packet declared lost; recovery
+  /// periods are keyed on send times (RFC 9002 section 7.3).
+  sim::Time largest_lost_sent_time;
+  std::int64_t bytes_in_flight = 0;
+  /// True when the loss-detection layer deemed this persistent congestion.
+  bool persistent_congestion = false;
+};
+
+class CongestionController {
+ public:
+  virtual ~CongestionController() = default;
+
+  virtual void on_packet_sent(sim::Time now, std::uint64_t pn,
+                              std::int64_t bytes,
+                              std::int64_t bytes_in_flight) = 0;
+  virtual void on_ack(const AckSample& ack) = 0;
+  virtual void on_loss(const LossSample& loss) = 0;
+
+  virtual std::int64_t cwnd_bytes() const = 0;
+  virtual bool in_slow_start() const = 0;
+
+  /// BBR supplies its own pacing rate; loss-based controllers return zero
+  /// and the transport derives rate = factor * cwnd / srtt.
+  virtual net::DataRate pacing_rate() const { return net::DataRate::zero(); }
+  virtual bool has_own_pacing_rate() const { return false; }
+
+  virtual const char* name() const = 0;
+  /// One-line internal state for traces (cwnd plots, Fig. 7).
+  virtual std::string debug_state() const = 0;
+};
+
+enum class CcAlgorithm : std::uint8_t { kNewReno, kCubic, kBbr };
+
+const char* to_string(CcAlgorithm algo);
+
+}  // namespace quicsteps::cc

@@ -1,0 +1,3 @@
+#include "core/quicsteps.hpp"
+
+// Umbrella target anchor.

@@ -1,0 +1,33 @@
+// Competing flows (paper Section 3.4 future work): two connections share
+// the 40 Mbit/s bottleneck, each with its own server host (stack + qdisc +
+// NIC). Measures per-flow goodput, Jain's fairness index, and loss — the
+// questions the paper defers: does pacing keep competing flows from
+// synchronizing their losses, and who wins the buffer?
+#pragma once
+
+#include "framework/experiment.hpp"
+
+namespace quicsteps::framework {
+
+struct DuelConfig {
+  /// Flow 1 and flow 2 configurations. Topology parameters (bottleneck,
+  /// RTT, buffers) are taken from `a.topology`; each flow gets its own
+  /// server-side qdisc per its own config.
+  ExperimentConfig a;
+  ExperimentConfig b;
+  /// Head start for flow A before B joins.
+  sim::Duration b_start_delay = sim::Duration::zero();
+  std::uint64_t seed = 1;
+};
+
+struct DuelResult {
+  RunResult a;
+  RunResult b;
+  /// Jain's fairness index over the two goodputs (1.0 = perfectly fair).
+  double fairness = 0.0;
+  std::int64_t bottleneck_drops = 0;
+};
+
+DuelResult run_duel(const DuelConfig& config);
+
+}  // namespace quicsteps::framework

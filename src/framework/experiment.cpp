@@ -1,0 +1,41 @@
+#include "framework/experiment.hpp"
+
+#include <cstdlib>
+
+namespace quicsteps::framework {
+
+const char* to_string(StackKind kind) {
+  switch (kind) {
+    case StackKind::kQuiche:
+      return "quiche";
+    case StackKind::kQuicheSf:
+      return "quiche+SF";
+    case StackKind::kPicoquic:
+      return "picoquic";
+    case StackKind::kNgtcp2:
+      return "ngtcp2";
+    case StackKind::kTcpTls:
+      return "TCP/TLS";
+    case StackKind::kIdealQuic:
+      return "ideal-quic";
+  }
+  return "?";
+}
+
+std::int64_t env_payload_bytes(std::int64_t fallback) {
+  if (const char* env = std::getenv("QUICSTEPS_PAYLOAD_MIB")) {
+    const long mib = std::strtol(env, nullptr, 10);
+    if (mib > 0) return static_cast<std::int64_t>(mib) * 1024 * 1024;
+  }
+  return fallback;
+}
+
+int env_repetitions(int fallback) {
+  if (const char* env = std::getenv("QUICSTEPS_REPS")) {
+    const long reps = std::strtol(env, nullptr, 10);
+    if (reps > 0) return static_cast<int>(reps);
+  }
+  return fallback;
+}
+
+}  // namespace quicsteps::framework

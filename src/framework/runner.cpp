@@ -1,0 +1,244 @@
+#include "framework/runner.hpp"
+
+#include <memory>
+#include <utility>
+
+#include <fstream>
+
+#include "kernel/udp_socket.hpp"
+#include "quic/client.hpp"
+#include "quic/app_source.hpp"
+#include "quic/qlog.hpp"
+#include "quic/server.hpp"
+#include "stacks/event_loop_model.hpp"
+#include "tcp/tcp_client.hpp"
+#include "tcp/tcp_server.hpp"
+
+namespace quicsteps::framework {
+
+namespace {
+using namespace quicsteps::sim::literals;
+}  // namespace
+
+stacks::StackProfile profile_for(const ExperimentConfig& config) {
+  stacks::ProfileOptions opts;
+  opts.cca = config.cca;
+  opts.gso = config.gso;
+  opts.gso_segments = config.gso_segments;
+  opts.txtime_headroom = config.txtime_headroom;
+  opts.use_sendmmsg = config.use_sendmmsg;
+  switch (config.stack) {
+    case StackKind::kQuiche:
+      return stacks::quiche_profile(opts);
+    case StackKind::kQuicheSf:
+      opts.sf_patch = true;
+      return stacks::quiche_profile(opts);
+    case StackKind::kPicoquic:
+      return stacks::picoquic_profile(opts);
+    case StackKind::kNgtcp2:
+      return stacks::ngtcp2_profile(opts);
+    default:
+      return stacks::quiche_profile(opts);
+  }
+}
+
+/// Extra simulated time an app-limited workload needs to release all its
+/// data (zero for bulk).
+sim::Duration workload_duration(const ExperimentConfig& config) {
+  const auto& w = config.workload;
+  switch (w.kind) {
+    case quic::SourceKind::kBulk:
+      return sim::Duration::zero();
+    case quic::SourceKind::kChunked: {
+      const double chunks = static_cast<double>(config.payload_bytes) /
+                            static_cast<double>(w.chunk_bytes);
+      return w.period * chunks;
+    }
+    case quic::SourceKind::kCbr: {
+      const double seconds = static_cast<double>(config.payload_bytes) /
+                             w.rate.bytes_per_second_f();
+      return sim::Duration::seconds_f(seconds);
+    }
+  }
+  return sim::Duration::zero();
+}
+
+sim::Duration run_deadline(const ExperimentConfig& config) {
+  // Generous bound: 8x the ideal transfer time plus startup slack. A stall
+  // beyond this marks the run incomplete instead of hanging the bench.
+  const double ideal_seconds =
+      static_cast<double>(config.payload_bytes) * 8.0 /
+      static_cast<double>(config.topology.bottleneck_rate.bps());
+  return sim::Duration::seconds_f(8.0 * ideal_seconds + 10.0);
+}
+
+RunResult Runner::run_once(const ExperimentConfig& config,
+                           std::uint64_t seed) {
+  sim::EventLoop loop;
+  sim::Rng rng(seed);
+  Topology topo(loop, config.topology, rng);
+  RunResult result;
+
+  const bool is_tcp = config.stack == StackKind::kTcpTls;
+  const std::uint32_t flow = is_tcp ? 2u : 1u;
+
+  // Keep the tap capture; all metrics derive from it.
+  metrics::GapAnalyzer gap_analyzer({.flow = flow});
+  metrics::TrainAnalyzer train_analyzer({.flow = flow});
+  metrics::PrecisionAnalyzer precision_analyzer({.flow = flow});
+
+  if (is_tcp) {
+    tcp::TcpServer::Config server_cfg;
+    server_cfg.connection.total_payload_bytes = config.payload_bytes;
+    server_cfg.connection.flow = flow;
+    server_cfg.connection.cc.algorithm = config.cca;
+    server_cfg.line_rate = config.topology.server_nic_rate;
+    // The kernel TCP path bypasses UDP sockets: segments enter the same
+    // egress qdisc directly (tc treats them alike).
+    tcp::TcpServer server(loop, server_cfg, topo.server_egress());
+    tcp::TcpClient client(loop,
+                          {.flow = flow,
+                           .expected_payload_bytes = config.payload_bytes,
+                           .ack = {}},
+                          topo.client_egress());
+    topo.set_client_handler(
+        [&](net::Packet pkt) { client.on_datagram(pkt); });
+    topo.set_server_handler(
+        [&](net::Packet pkt) { server.on_datagram(pkt); });
+
+    server.start();
+    loop.run_until(sim::Time::zero() + run_deadline(config));
+
+    result.completed = client.complete();
+    result.packets_sent = server.connection().stats().segments_sent;
+    result.packets_declared_lost =
+        server.connection().stats().segments_declared_lost;
+    result.retransmissions =
+        server.connection().stats().segments_retransmitted;
+    result.goodput = metrics::compute_goodput(
+        client.stats().payload_bytes_received,
+        client.stats().first_packet_time, client.stats().completion_time);
+    result.dropped_packets = topo.bottleneck_drops();
+    result.gaps = gap_analyzer.analyze(topo.tap().capture());
+    result.trains = train_analyzer.analyze(topo.tap().capture());
+    result.precision = precision_analyzer.analyze(topo.tap().capture());
+    result.wire_data_packets =
+        static_cast<std::int64_t>(gap_analyzer.data_times(topo.tap().capture()).size());
+    if (config.keep_capture) {
+      result.capture = std::make_shared<const std::vector<net::Packet>>(
+          topo.tap().capture());
+    }
+    return result;
+  }
+
+  // --- QUIC stacks -----------------------------------------------------------
+  const stacks::StackProfile profile = profile_for(config);
+  quic::Connection::Config conn_cfg;
+  conn_cfg.total_payload_bytes = config.payload_bytes;
+  conn_cfg.flow = flow;
+  conn_cfg.flow_control_credit = profile.flow_control_credit;
+  conn_cfg.app_limited_source =
+      config.workload.kind != quic::SourceKind::kBulk;
+
+  std::unique_ptr<stacks::StackServer> stack_server;
+  std::unique_ptr<quic::ReferenceServer> ideal_server;
+
+  if (config.stack == StackKind::kIdealQuic) {
+    conn_cfg.cc.algorithm = config.cca;
+    ideal_server = std::make_unique<quic::ReferenceServer>(
+        loop, conn_cfg, topo.server_egress());
+  } else {
+    stack_server = std::make_unique<stacks::StackServer>(
+        loop, topo.server_os(), profile, conn_cfg, topo.server_egress());
+  }
+
+  quic::Client client(loop,
+                      {.flow = flow,
+                       .ack = {},
+                       .expected_payload_bytes = config.payload_bytes,
+                       .flow_control_credit = profile.flow_control_credit},
+                      topo.client_egress());
+  topo.set_client_handler([&](net::Packet pkt) { client.on_datagram(pkt); });
+  topo.set_server_handler([&](net::Packet pkt) {
+    if (stack_server != nullptr) {
+      stack_server->on_datagram(pkt);
+    } else {
+      ideal_server->on_datagram(pkt);
+    }
+  });
+
+  quic::Connection& conn = stack_server != nullptr
+                               ? stack_server->connection()
+                               : ideal_server->connection();
+  if (config.record_cwnd_trace) {
+    conn.set_cwnd_tracer([&result](sim::Time t, std::int64_t cwnd,
+                                   std::int64_t in_flight) {
+      result.cwnd_trace.push_back(RunResult::CwndPoint{t, cwnd, in_flight});
+    });
+  }
+  std::ofstream qlog_stream;
+  std::unique_ptr<quic::QlogWriter> qlog;
+  if (!config.qlog_path.empty()) {
+    qlog_stream.open(config.qlog_path + "." + std::to_string(seed));
+    qlog = std::make_unique<quic::QlogWriter>(qlog_stream);
+    qlog->write_header(config.label.empty() ? "quicsteps run" : config.label);
+    conn.set_observer(qlog.get());
+  }
+
+  quic::AppSource source(
+      loop, conn, config.workload, [&] {
+        if (stack_server != nullptr) {
+          stack_server->poke();
+        } else {
+          ideal_server->start();  // re-enter the ideal send loop
+        }
+      });
+
+  if (stack_server != nullptr) {
+    stack_server->start();
+  } else {
+    ideal_server->start();
+  }
+  source.start();
+  loop.run_until(sim::Time::zero() + run_deadline(config) +
+                 workload_duration(config));
+
+  result.completed = client.complete();
+  result.packets_sent = conn.stats().packets_sent;
+  result.packets_declared_lost = conn.stats().packets_declared_lost;
+  result.retransmissions = conn.stats().packets_retransmitted;
+  if (const auto* cubic =
+          dynamic_cast<const cc::Cubic*>(&conn.controller())) {
+    result.cc_rollbacks = cubic->rollbacks_performed();
+  }
+  if (stack_server != nullptr) {
+    result.send_syscalls =
+        static_cast<std::int64_t>(stack_server->stats().send_syscalls);
+    result.cpu_time_ms = stack_server->stats().cpu_time.to_millis();
+  }
+  result.goodput = metrics::compute_goodput(
+      client.stats().payload_bytes_received, client.stats().first_packet_time,
+      client.stats().completion_time);
+  result.dropped_packets = topo.bottleneck_drops();
+  result.gaps = gap_analyzer.analyze(topo.tap().capture());
+  result.trains = train_analyzer.analyze(topo.tap().capture());
+  result.precision = precision_analyzer.analyze(topo.tap().capture());
+  result.wire_data_packets = static_cast<std::int64_t>(
+      gap_analyzer.data_times(topo.tap().capture()).size());
+  if (config.keep_capture) {
+    result.capture = std::make_shared<const std::vector<net::Packet>>(
+        topo.tap().capture());
+  }
+  return result;
+}
+
+std::vector<RunResult> Runner::run_all(const ExperimentConfig& config) {
+  std::vector<RunResult> results;
+  results.reserve(static_cast<std::size_t>(config.repetitions));
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    results.push_back(run_once(config, config.seed + static_cast<std::uint64_t>(rep)));
+  }
+  return results;
+}
+
+}  // namespace quicsteps::framework

@@ -1,0 +1,31 @@
+// Experiment runner: builds the topology, attaches the configured stack
+// (one of the three QUIC profiles, the TCP baseline, or the ideal
+// reference), runs the transfer to completion, and extracts every metric
+// from the tap capture — once per repetition, with per-repetition seeds.
+#pragma once
+
+#include <vector>
+
+#include "framework/experiment.hpp"
+#include "stacks/stack_profile.hpp"
+
+namespace quicsteps::framework {
+
+/// Resolves the stack profile an experiment configuration selects.
+stacks::StackProfile profile_for(const ExperimentConfig& config);
+
+/// Simulated-time budget for one run (a stall past it marks the run
+/// incomplete instead of hanging).
+sim::Duration run_deadline(const ExperimentConfig& config);
+
+class Runner {
+ public:
+  /// One repetition with the given seed.
+  static RunResult run_once(const ExperimentConfig& config,
+                            std::uint64_t seed);
+
+  /// All configured repetitions (seed, seed+1, ...).
+  static std::vector<RunResult> run_all(const ExperimentConfig& config);
+};
+
+}  // namespace quicsteps::framework

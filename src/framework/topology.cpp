@@ -1,0 +1,93 @@
+#include "framework/topology.hpp"
+
+#include <utility>
+
+namespace quicsteps::framework {
+
+const char* to_string(QdiscKind kind) {
+  switch (kind) {
+    case QdiscKind::kFifo:
+      return "pfifo_fast";
+    case QdiscKind::kFqCodel:
+      return "fq_codel";
+    case QdiscKind::kFq:
+      return "fq";
+    case QdiscKind::kEtf:
+      return "etf";
+    case QdiscKind::kEtfOffload:
+      return "etf+launchtime";
+  }
+  return "?";
+}
+
+Topology::Topology(sim::EventLoop& loop, TopologyConfig config, sim::Rng& rng)
+    : loop_(loop),
+      config_(config),
+      server_os_(config.server_os, rng.fork(1)),
+      client_os_(config.client_os, rng.fork(2)),
+      client_receiver_(std::make_unique<kernel::UdpReceiver>(
+          loop, client_os_, config.client_rcvbuf_bytes,
+          [this](net::Packet pkt) {
+            if (client_handler_) client_handler_(std::move(pkt));
+          },
+          config.client_gro_window)),
+      data_netem_(loop,
+                  {.delay = config.path_delay_one_way,
+                   .jitter = config.path_jitter,
+                   .limit_packets = config.netem_limit_packets,
+                   .loss_probability = config.path_loss_probability,
+                   .reorder_probability = config.path_reorder_probability},
+                  rng.fork(3), client_receiver_.get()),
+      bottleneck_(loop,
+                  {.rate = config.bottleneck_rate,
+                   .burst_bytes = config.tbf_burst_bytes,
+                   .limit_bytes = config.bottleneck_buffer_bytes},
+                  &data_netem_),
+      tap_(std::make_unique<net::WireTap>(loop, &bottleneck_)),
+      server_receiver_(std::make_unique<kernel::UdpReceiver>(
+          loop, server_os_, config.client_rcvbuf_bytes,
+          [this](net::Packet pkt) {
+            if (server_handler_) server_handler_(std::move(pkt));
+          })),
+      client_netem_(loop,
+                    {.delay = config.path_delay_one_way,
+                     .limit_packets = config.netem_limit_packets},
+                    rng.fork(4), server_receiver_.get()) {
+  kernel::Nic::Config nic_cfg;
+  nic_cfg.line_rate = config.server_nic_rate;
+  nic_cfg.launch_time = config.server_qdisc == QdiscKind::kEtfOffload;
+  nic_cfg.drop_missed_launch = config.drop_missed_launch;
+  nic_ = std::make_unique<kernel::Nic>(loop, nic_cfg, server_os_, tap_.get());
+
+  switch (config.server_qdisc) {
+    case QdiscKind::kFifo:
+      qdisc_ = std::make_unique<kernel::FifoQdisc>(loop, kernel::FifoQdisc::Config{},
+                                                   nic_.get());
+      break;
+    case QdiscKind::kFqCodel: {
+      kernel::FqCodelQdisc::Config cfg;
+      cfg.drain_rate = config.server_nic_rate;
+      qdisc_ = std::make_unique<kernel::FqCodelQdisc>(loop, cfg, nic_.get());
+      break;
+    }
+    case QdiscKind::kFq:
+      qdisc_ = std::make_unique<kernel::FqQdisc>(loop, kernel::FqQdisc::Config{},
+                                                 server_os_, nic_.get());
+      break;
+    case QdiscKind::kEtf:
+    case QdiscKind::kEtfOffload:
+      qdisc_ = std::make_unique<kernel::EtfQdisc>(loop, config.etf, server_os_,
+                                                  nic_.get());
+      break;
+  }
+}
+
+void Topology::set_client_handler(kernel::UdpReceiver::Handler handler) {
+  client_handler_ = std::move(handler);
+}
+
+void Topology::set_server_handler(kernel::UdpReceiver::Handler handler) {
+  server_handler_ = std::move(handler);
+}
+
+}  // namespace quicsteps::framework

@@ -1,0 +1,121 @@
+// The measurement topology (paper Figure 1), as one wired object:
+//
+//   server stack ── UdpSocket ── [qdisc under test] ── NIC (1 Gbit/s,
+//   optional LaunchTime) ── WIRE TAP (sniffer) ── TBF 40 Mbit/s (the
+//   client-side IFB ingress bottleneck; DROPS HAPPEN HERE) ── netem +20 ms
+//   ── client UDP receiver (50 MiB buffer) ── client
+//
+//   client ACKs ── netem +20 ms ── server UDP receiver ── server stack
+//
+// The tap sits before the shaper, so captured timing reflects the server's
+// pacing, not the bottleneck's re-shaping — exactly the paper's design.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "kernel/nic.hpp"
+#include "kernel/os_model.hpp"
+#include "kernel/qdisc.hpp"
+#include "kernel/qdisc_etf.hpp"
+#include "kernel/qdisc_fifo.hpp"
+#include "kernel/qdisc_fq.hpp"
+#include "kernel/qdisc_fq_codel.hpp"
+#include "kernel/qdisc_netem.hpp"
+#include "kernel/qdisc_tbf.hpp"
+#include "kernel/udp_socket.hpp"
+#include "net/wire_tap.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/random.hpp"
+
+namespace quicsteps::framework {
+
+enum class QdiscKind : std::uint8_t {
+  kFifo,        // pfifo_fast: kernel default, txtime ignored
+  kFqCodel,     // Debian default
+  kFq,          // timestamp-honoring fair queue
+  kEtf,         // software ETF
+  kEtfOffload,  // ETF + NIC LaunchTime
+};
+
+const char* to_string(QdiscKind kind);
+
+struct TopologyConfig {
+  QdiscKind server_qdisc = QdiscKind::kFqCodel;  // Debian Bookworm default
+  kernel::EtfQdisc::Config etf;                  // delta defaults to 200 us
+  /// TSN-strict LaunchTime (see kernel::Nic::Config::drop_missed_launch).
+  bool drop_missed_launch = false;
+  net::DataRate server_nic_rate = net::DataRate::gigabits_per_second(1);
+
+  net::DataRate bottleneck_rate = net::DataRate::megabits_per_second(40);
+  /// Bottleneck FIFO depth in bytes (1 BDP at 40 Mbit/s x 40 ms = 200 kB).
+  std::int64_t bottleneck_buffer_bytes = 200 * 1000;
+  std::int64_t tbf_burst_bytes = 2 * 1514;
+
+  sim::Duration path_delay_one_way = sim::Duration::millis(20);
+  /// netem queue sized to two BDPs so it never drops (paper Section 3.2).
+  std::int64_t netem_limit_packets = 100000;
+  /// Path impairments on the DATA direction (tc netem loss/reorder) — zero
+  /// in the paper's controlled setup; exposed for robustness experiments.
+  double path_loss_probability = 0.0;
+  double path_reorder_probability = 0.0;
+  sim::Duration path_jitter = sim::Duration::zero();
+
+  std::int64_t client_rcvbuf_bytes = 50 * 1024 * 1024;
+  /// Client-side GRO coalescing window (zero = GRO off, the paper setup).
+  sim::Duration client_gro_window = sim::Duration::zero();
+
+  kernel::OsTimingConfig server_os;
+  kernel::OsTimingConfig client_os;
+};
+
+/// Owns every path element between (and including) the two hosts' kernels.
+/// The transport endpoints attach via the exposed sinks/handlers.
+class Topology {
+ public:
+  Topology(sim::EventLoop& loop, TopologyConfig config, sim::Rng& rng);
+
+  /// Head of the server egress chain: the stack's UdpSocket target.
+  net::PacketSink* server_egress() { return qdisc_.get(); }
+  /// Head of the client egress chain (ACK path back to the server).
+  net::PacketSink* client_egress() { return &client_netem_; }
+
+  /// Wire the endpoint handlers.
+  void set_client_handler(kernel::UdpReceiver::Handler handler);
+  void set_server_handler(kernel::UdpReceiver::Handler handler);
+
+  const net::WireTap& tap() const { return *tap_; }
+  net::WireTap& tap() { return *tap_; }
+  /// Bottleneck drop count — the paper's "dropped packets" column.
+  std::int64_t bottleneck_drops() const {
+    return bottleneck_.counters().packets_dropped;
+  }
+  const kernel::TbfQdisc& bottleneck() const { return bottleneck_; }
+  const kernel::Qdisc& server_qdisc() const { return *qdisc_; }
+  kernel::OsModel& server_os() { return server_os_; }
+  kernel::OsModel& client_os() { return client_os_; }
+  const TopologyConfig& config() const { return config_; }
+
+ private:
+  sim::EventLoop& loop_;
+  TopologyConfig config_;
+  kernel::OsModel server_os_;
+  kernel::OsModel client_os_;
+
+  // Data path, downstream-first construction order.
+  std::unique_ptr<kernel::UdpReceiver> client_receiver_;
+  kernel::NetemQdisc data_netem_;
+  kernel::TbfQdisc bottleneck_;
+  std::unique_ptr<net::WireTap> tap_;
+  std::unique_ptr<kernel::Nic> nic_;
+  std::unique_ptr<kernel::Qdisc> qdisc_;
+
+  // ACK path.
+  std::unique_ptr<kernel::UdpReceiver> server_receiver_;
+  kernel::NetemQdisc client_netem_;
+
+  kernel::UdpReceiver::Handler client_handler_;
+  kernel::UdpReceiver::Handler server_handler_;
+};
+
+}  // namespace quicsteps::framework

@@ -1,0 +1,50 @@
+#include "kernel/gso.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace quicsteps::kernel {
+
+const char* to_string(GsoMode mode) {
+  switch (mode) {
+    case GsoMode::kOff:
+      return "gso-off";
+    case GsoMode::kOn:
+      return "gso-on";
+    case GsoMode::kPaced:
+      return "gso-paced";
+  }
+  return "?";
+}
+
+net::Packet make_gso_buffer(std::vector<net::Packet> segments,
+                            std::uint64_t buffer_id,
+                            net::DataRate gso_pacing_rate) {
+  net::Packet carrier;
+  carrier.flow = segments.front().flow;
+  carrier.kind = segments.front().kind;
+  carrier.id = segments.front().id;
+  carrier.packet_number = segments.front().packet_number;
+  carrier.has_txtime = segments.front().has_txtime;
+  carrier.txtime = segments.front().txtime;
+  carrier.expected_send_time = segments.front().expected_send_time;
+  carrier.gso_buffer_id = buffer_id;
+  carrier.gso_segment_count = static_cast<std::uint32_t>(segments.size());
+  carrier.gso_pacing_rate = gso_pacing_rate;
+
+  std::int64_t total = 0;
+  std::uint32_t index = 0;
+  for (auto& seg : segments) {
+    total += seg.size_bytes;
+    seg.gso_buffer_id = buffer_id;
+    seg.gso_segment_index = index++;
+    seg.gso_segment_count = carrier.gso_segment_count;
+    seg.gso_pacing_rate = gso_pacing_rate;
+  }
+  carrier.size_bytes = total;
+  carrier.gso_segments =
+      std::make_shared<const std::vector<net::Packet>>(std::move(segments));
+  return carrier;
+}
+
+}  // namespace quicsteps::kernel

@@ -1,0 +1,33 @@
+// Generic Segmentation Offload model.
+//
+// A GSO send hands the kernel one buffer that is split into wire packets at
+// the driver/NIC boundary. Three modes reproduce the paper's Section 4.3:
+//   kOff    — one sendmsg per packet (baseline; qdisc can pace each packet);
+//   kOn     — stock GSO: the buffer crosses the qdisc as ONE unit, so all
+//             segments hit the wire back-to-back (pacing is defeated);
+//   kPaced  — the paper's extended kernel patch: user space attaches a
+//             pacing rate to the buffer and the kernel releases segment i
+//             at t0 + i * segment_bytes / rate, keeping single-syscall
+//             efficiency AND per-packet spacing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace quicsteps::kernel {
+
+enum class GsoMode : std::uint8_t { kOff, kOn, kPaced };
+
+const char* to_string(GsoMode mode);
+
+/// Builds the super-packet the kernel sees for one GSO sendmsg. `segments`
+/// must be non-empty; their sizes are summed for the carrier. The carrier
+/// inherits the txtime of the FIRST segment (a real GSO buffer carries one
+/// SCM_TXTIME for the whole call).
+net::Packet make_gso_buffer(std::vector<net::Packet> segments,
+                            std::uint64_t buffer_id,
+                            net::DataRate gso_pacing_rate);
+
+}  // namespace quicsteps::kernel

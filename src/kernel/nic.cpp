@@ -1,0 +1,54 @@
+#include "kernel/nic.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace quicsteps::kernel {
+
+void Nic::deliver(net::Packet pkt) {
+  const sim::Time now = loop_.now();
+
+  if (pkt.is_gso_buffer()) {
+    // Segmentation happens here, at the driver boundary. Stock GSO releases
+    // all segments immediately (they then serialize back-to-back at line
+    // rate); the paced-GSO patch spaces segment i by i * seg/rate.
+    const auto& segments = *pkt.gso_segments;
+    const bool paced = !pkt.gso_pacing_rate.is_zero();
+    sim::Time release = now;
+    for (const auto& seg : segments) {
+      net::Packet wire = seg;
+      wire.kernel_entry_time = pkt.kernel_entry_time;
+      transmit(std::move(wire), release);
+      if (paced) {
+        release += pkt.gso_pacing_rate.transmit_time(seg.size_bytes);
+      }
+    }
+    return;
+  }
+
+  sim::Time earliest = now;
+  if (config_.launch_time && pkt.has_txtime) {
+    if (pkt.txtime > now) {
+      earliest = pkt.txtime + os_.rng().uniform_duration(
+                                  sim::Duration::zero(),
+                                  config_.launch_jitter_max);
+    } else if (config_.drop_missed_launch) {
+      // The launch slot has passed before the descriptor reached the NIC.
+      ++missed_launch_drops_;
+      return;
+    }
+  }
+  transmit(std::move(pkt), earliest);
+}
+
+void Nic::transmit(net::Packet pkt, sim::Time earliest) {
+  const sim::Time start = sim::max(sim::max(loop_.now(), earliest), busy_until_);
+  const sim::Duration tx = config_.line_rate.transmit_time(pkt.size_bytes);
+  busy_until_ = start + tx;
+  ++packets_sent_;
+  loop_.schedule_at(busy_until_, [this, pkt = std::move(pkt)]() mutable {
+    if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));
+  });
+}
+
+}  // namespace quicsteps::kernel

@@ -1,0 +1,26 @@
+#include "kernel/os_model.hpp"
+
+namespace quicsteps::kernel {
+
+sim::Duration OsModel::draw_syscall_cost() {
+  return config_.syscall_base +
+         rng_.exponential_duration(config_.syscall_jitter_mean,
+                                   config_.syscall_jitter_cap);
+}
+
+sim::Duration OsModel::draw_kernel_release_delay() {
+  sim::Duration d = rng_.normal_duration(config_.hrtimer_slack_mean,
+                                         config_.hrtimer_slack_stddev);
+  if (rng_.chance(config_.softirq_delay_chance)) {
+    d += rng_.exponential_duration(config_.softirq_delay_mean,
+                                   config_.softirq_delay_cap);
+  }
+  return d;
+}
+
+sim::Duration OsModel::draw_wakeup_latency() {
+  return rng_.normal_duration(config_.wakeup_latency_mean,
+                              config_.wakeup_latency_stddev);
+}
+
+}  // namespace quicsteps::kernel

@@ -1,0 +1,3 @@
+#include "kernel/qdisc.hpp"
+
+// Base class is header-only; this translation unit anchors the target.

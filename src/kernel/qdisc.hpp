@@ -1,0 +1,45 @@
+// Queueing-discipline base.
+//
+// A qdisc sits between the kernel socket layer and the NIC. Each model
+// reproduces the scheduling semantics of its Linux counterpart that matter
+// for pacing: whether SO_TXTIME release timestamps are honored (FQ, ETF),
+// whether late packets are dropped (ETF), and whether the rate can be
+// steered from user space (TBF cannot, which is why the paper dismisses it
+// for QUIC).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/counters.hpp"
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+
+namespace quicsteps::kernel {
+
+class Qdisc : public net::PacketSink {
+ public:
+  Qdisc(sim::EventLoop& loop, std::string name, net::PacketSink* downstream)
+      : loop_(loop), name_(std::move(name)), downstream_(downstream) {}
+
+  const std::string& name() const { return name_; }
+  const net::Counters& counters() const { return counters_; }
+  void set_downstream(net::PacketSink* sink) { downstream_ = sink; }
+
+ protected:
+  void forward(net::Packet pkt) {
+    counters_.count_out(pkt.size_bytes);
+    if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));
+  }
+  void drop(const net::Packet& pkt) { counters_.count_drop(pkt.size_bytes); }
+  void note_arrival(const net::Packet& pkt) { counters_.count_in(pkt.size_bytes); }
+
+  sim::EventLoop& loop_;
+
+ private:
+  std::string name_;
+  net::PacketSink* downstream_;
+  net::Counters counters_;
+};
+
+}  // namespace quicsteps::kernel

@@ -1,0 +1,3 @@
+#include "kernel/qdisc_fifo.hpp"
+
+// Header-only; anchors the library target.

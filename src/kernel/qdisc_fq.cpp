@@ -1,0 +1,53 @@
+#include "kernel/qdisc_fq.hpp"
+
+#include <utility>
+
+namespace quicsteps::kernel {
+
+void FqQdisc::deliver(net::Packet pkt) {
+  note_arrival(pkt);
+
+  if (static_cast<std::int64_t>(timed_.size()) >= config_.limit_packets) {
+    drop(pkt);
+    return;
+  }
+
+  const sim::Time now = loop_.now();
+  if (!pkt.has_txtime || pkt.txtime <= now) {
+    // No timestamp, or timestamp already due: fq transmits immediately.
+    forward(std::move(pkt));
+    return;
+  }
+  if (config_.horizon_drop && pkt.txtime > now + config_.horizon) {
+    drop(pkt);
+    return;
+  }
+
+  timed_.emplace(pkt.txtime, std::move(pkt));
+  arm_watchdog();
+}
+
+void FqQdisc::arm_watchdog() {
+  if (timed_.empty()) return;
+  const sim::Time head = timed_.begin()->first;
+  if (watchdog_.pending() && watchdog_at_ <= head) return;
+  watchdog_.cancel();
+  // hrtimer wakeup: fires at the head timestamp plus kernel slack. All
+  // packets due by then leave in one softirq.
+  watchdog_at_ = head;
+  const sim::Time fire = head + os_.draw_kernel_release_delay();
+  watchdog_ = loop_.schedule_at(fire, [this] { on_watchdog(); });
+}
+
+void FqQdisc::on_watchdog() {
+  const sim::Time now = loop_.now();
+  while (!timed_.empty() && timed_.begin()->first <= now) {
+    net::Packet pkt = std::move(timed_.begin()->second);
+    timed_.erase(timed_.begin());
+    forward(std::move(pkt));
+  }
+  watchdog_at_ = sim::Time::infinite();
+  arm_watchdog();
+}
+
+}  // namespace quicsteps::kernel

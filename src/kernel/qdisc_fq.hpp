@@ -1,0 +1,50 @@
+// FQ qdisc model.
+//
+// The property the paper relies on: FQ schedules packets that carry an
+// SO_TXTIME timestamp at that timestamp, releasing them via kernel hrtimer
+// watchdogs (so with some tens of microseconds of slack), and — unlike ETF —
+// never drops a packet whose timestamp already passed; it sends it
+// immediately instead. Packets without a timestamp pass straight through
+// (there is a single flow; FQ's TCP rate pacing is not exercised by UDP).
+// Packets time-stamped beyond the horizon are dropped (fq's default
+// horizon-drop behavior).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "kernel/os_model.hpp"
+#include "kernel/qdisc.hpp"
+
+namespace quicsteps::kernel {
+
+class FqQdisc final : public Qdisc {
+ public:
+  struct Config {
+    std::int64_t limit_packets = 10000;  // fq "limit" (per-qdisc)
+    sim::Duration horizon = sim::Duration::seconds(10);
+    bool horizon_drop = true;
+  };
+
+  FqQdisc(sim::EventLoop& loop, Config config, OsModel& os,
+          net::PacketSink* downstream)
+      : Qdisc(loop, "fq", downstream), config_(config), os_(os) {}
+
+  void deliver(net::Packet pkt) override;
+
+  std::size_t queued_packets() const { return timed_.size(); }
+
+ private:
+  void arm_watchdog();
+  void on_watchdog();
+
+  Config config_;
+  OsModel& os_;
+  // Held packets ordered by release timestamp; the multimap key keeps
+  // same-timestamp packets in insertion order.
+  std::multimap<sim::Time, net::Packet> timed_;
+  sim::EventHandle watchdog_;
+  sim::Time watchdog_at_ = sim::Time::infinite();
+};
+
+}  // namespace quicsteps::kernel

@@ -1,0 +1,3 @@
+#include "kernel/timer_service.hpp"
+
+// TimerService is header-only; this translation unit anchors the target.

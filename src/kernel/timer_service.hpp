@@ -1,0 +1,66 @@
+// User-space timer model.
+//
+// Stack event loops do not see the simulator's perfect clock: when an
+// application asks to wake at T, the actual wakeup is quantized to the
+// loop's timer granularity and lands late by a drawn slack. This is the
+// mechanism behind the paper's observation that purely user-space pacing
+// quality depends on the implementation's timer discipline (coarse-timer
+// picoquic bursts vs. its fine-grained BBR path).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "kernel/os_model.hpp"
+#include "sim/event_loop.hpp"
+
+namespace quicsteps::kernel {
+
+class TimerService {
+ public:
+  struct Config {
+    /// Requested wakeups are rounded up to a multiple of this granularity
+    /// *relative to the request instant* (epoll_wait-style ms timeouts).
+    /// Zero means no quantization (timerfd with nanosecond arguments).
+    sim::Duration granularity = sim::Duration::zero();
+    /// Additional late-firing slack drawn uniformly in [0, slack_max].
+    sim::Duration slack_max = sim::Duration::micros(30);
+  };
+
+  TimerService(sim::EventLoop& loop, OsModel& os, Config config)
+      : loop_(loop), os_(os), config_(config) {}
+
+  /// Arms a one-shot timer for `at`; fires at the OS-adjusted instant with
+  /// the actual time passed to the callback. Returns a cancellable handle.
+  sim::EventHandle arm(sim::Time at, std::function<void()> fn) {
+    return loop_.schedule_at(adjusted_fire_time(at), std::move(fn));
+  }
+
+  /// The instant a wakeup requested for `at` would actually fire.
+  sim::Time adjusted_fire_time(sim::Time at) {
+    const sim::Time now = loop_.now();
+    if (at < now) at = now;
+    sim::Time fire = at;
+    if (config_.granularity > sim::Duration::zero()) {
+      // epoll-style: the app computes a timeout and rounds it up to whole
+      // granules; a zero remainder still costs one granule when the
+      // deadline is not "now" (the loop cannot wake mid-granule).
+      const std::int64_t g = config_.granularity.ns();
+      const std::int64_t req = (at - now).ns();
+      const std::int64_t granules = (req + g - 1) / g;
+      fire = now + sim::Duration::nanos(granules * g);
+    }
+    fire += os_.rng().uniform_duration(sim::Duration::zero(), config_.slack_max);
+    return fire;
+  }
+
+  const Config& config() const { return config_; }
+  sim::EventLoop& loop() { return loop_; }
+
+ private:
+  sim::EventLoop& loop_;
+  OsModel& os_;
+  Config config_;
+};
+
+}  // namespace quicsteps::kernel

@@ -1,0 +1,78 @@
+#include "kernel/udp_socket.hpp"
+
+namespace quicsteps::kernel {
+
+void UdpSocket::inject(net::Packet pkt) {
+  pkt.kernel_entry_time = loop_.now();
+  counters_.count_in(pkt.size_bytes);
+  counters_.count_out(pkt.size_bytes);
+  if (egress_ != nullptr) egress_->deliver(std::move(pkt));
+}
+
+sim::Duration UdpSocket::sendmsg(net::Packet pkt) {
+  ++syscalls_;
+  inject(std::move(pkt));
+  return os_.draw_syscall_cost();
+}
+
+sim::Duration UdpSocket::sendmsg_gso(std::vector<net::Packet> segments,
+                                     net::DataRate gso_pacing_rate) {
+  ++syscalls_;
+  net::Packet carrier =
+      make_gso_buffer(std::move(segments), next_gso_id_++, gso_pacing_rate);
+  inject(std::move(carrier));
+  // One syscall regardless of segment count — this is GSO's CPU win.
+  return os_.draw_syscall_cost();
+}
+
+sim::Duration UdpSocket::sendmmsg(std::vector<net::Packet> packets) {
+  ++syscalls_;
+  for (auto& pkt : packets) {
+    inject(std::move(pkt));
+  }
+  // One kernel entry regardless of message count — the kernel loops over
+  // the messages inside the syscall.
+  return os_.draw_syscall_cost();
+}
+
+void UdpReceiver::deliver(net::Packet pkt) {
+  counters_.count_in(pkt.size_bytes);
+  if (buffered_bytes_ + pkt.size_bytes > rcvbuf_bytes_) {
+    counters_.count_drop(pkt.size_bytes);
+    return;
+  }
+  buffered_bytes_ += pkt.size_bytes;
+  pkt.delivery_time = loop_.now();
+
+  if (gro_window_.is_zero()) {
+    loop_.schedule_after(os_.draw_wakeup_latency(),
+                         [this, pkt = std::move(pkt)]() mutable {
+                           ++wakeups_;
+                           buffered_bytes_ -= pkt.size_bytes;
+                           counters_.count_out(pkt.size_bytes);
+                           if (handler_) handler_(std::move(pkt));
+                         });
+    return;
+  }
+
+  // GRO: coalesce everything arriving within the window of the first
+  // unflushed packet; one wakeup delivers the whole batch.
+  gro_batch_.push_back(std::move(pkt));
+  if (!gro_timer_.pending()) {
+    gro_timer_ = loop_.schedule_after(
+        gro_window_ + os_.draw_wakeup_latency(), [this] { flush(); });
+  }
+}
+
+void UdpReceiver::flush() {
+  ++wakeups_;
+  std::vector<net::Packet> batch;
+  batch.swap(gro_batch_);
+  for (auto& pkt : batch) {
+    buffered_bytes_ -= pkt.size_bytes;
+    counters_.count_out(pkt.size_bytes);
+    if (handler_) handler_(std::move(pkt));
+  }
+}
+
+}  // namespace quicsteps::kernel

@@ -1,0 +1,42 @@
+#include "metrics/gap_analyzer.hpp"
+
+namespace quicsteps::metrics {
+
+bool GapAnalyzer::relevant(const net::Packet& pkt) const {
+  if (pkt.flow != config_.flow) return false;
+  return pkt.kind == net::PacketKind::kQuicData ||
+         pkt.kind == net::PacketKind::kTcpData;
+}
+
+std::vector<sim::Time> GapAnalyzer::data_times(
+    const std::vector<net::Packet>& capture) const {
+  std::vector<sim::Time> times;
+  times.reserve(capture.size());
+  for (const auto& pkt : capture) {
+    if (relevant(pkt)) times.push_back(pkt.wire_time);
+  }
+  return times;
+}
+
+GapReport GapAnalyzer::analyze(const std::vector<net::Packet>& capture) const {
+  GapReport report;
+  const auto times = data_times(capture);
+  if (times.size() < 2) return report;
+
+  report.gaps_ms.reserve(times.size() - 1);
+  std::size_t b2b = 0;
+  std::size_t below_1500 = 0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const sim::Duration gap = times[i] - times[i - 1];
+    report.gaps_ms.push_back(gap.to_millis());
+    if (gap <= config_.back_to_back_bound) ++b2b;
+    if (gap < sim::Duration::micros(1500)) ++below_1500;
+  }
+  const double n = static_cast<double>(report.gaps_ms.size());
+  report.back_to_back_fraction = static_cast<double>(b2b) / n;
+  report.below_1500us_fraction = static_cast<double>(below_1500) / n;
+  report.summary_ms = summarize(report.gaps_ms);
+  return report;
+}
+
+}  // namespace quicsteps::metrics

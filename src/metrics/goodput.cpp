@@ -1,0 +1,18 @@
+#include "metrics/goodput.hpp"
+
+namespace quicsteps::metrics {
+
+GoodputReport compute_goodput(std::int64_t payload_bytes,
+                              sim::Time first_packet, sim::Time completion) {
+  GoodputReport report;
+  report.payload_bytes = payload_bytes;
+  if (completion.is_infinite() || first_packet.is_infinite() ||
+      completion <= first_packet) {
+    return report;
+  }
+  report.elapsed = completion - first_packet;
+  report.goodput = net::DataRate::bytes_per(payload_bytes, report.elapsed);
+  return report;
+}
+
+}  // namespace quicsteps::metrics

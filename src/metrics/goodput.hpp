@@ -1,0 +1,21 @@
+// Goodput accounting (paper Tables 1 and 2): application payload delivered
+// per unit time, measured at the client between the first received packet
+// and transfer completion.
+#pragma once
+
+#include "net/data_rate.hpp"
+#include "sim/time.hpp"
+
+namespace quicsteps::metrics {
+
+struct GoodputReport {
+  net::DataRate goodput;
+  std::int64_t payload_bytes = 0;
+  sim::Duration elapsed;
+};
+
+GoodputReport compute_goodput(std::int64_t payload_bytes,
+                              sim::Time first_packet,
+                              sim::Time completion);
+
+}  // namespace quicsteps::metrics

@@ -1,0 +1,27 @@
+#include "metrics/precision.hpp"
+
+namespace quicsteps::metrics {
+
+PrecisionReport PrecisionAnalyzer::analyze(
+    const std::vector<net::Packet>& capture) const {
+  PrecisionReport report;
+  for (const auto& pkt : capture) {
+    if (pkt.flow != config_.flow) continue;
+    if (pkt.kind != net::PacketKind::kQuicData &&
+        pkt.kind != net::PacketKind::kTcpData) {
+      continue;
+    }
+    // GSO hides per-packet expectations (one timestamp per buffer), so the
+    // paper measures precision without GSO; segments beyond the first are
+    // skipped to honor that.
+    if (pkt.gso_buffer_id != 0 && pkt.gso_segment_index != 0) continue;
+    report.offsets_ms.push_back(
+        (pkt.wire_time - pkt.expected_send_time).to_millis());
+  }
+  report.samples = report.offsets_ms.size();
+  report.summary_ms = summarize(report.offsets_ms);
+  report.precision_ms = report.summary_ms.stddev;
+  return report;
+}
+
+}  // namespace quicsteps::metrics

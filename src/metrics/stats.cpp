@@ -1,0 +1,115 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace quicsteps::metrics {
+
+std::string Summary::to_string(int precision) const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.*f ± %.*f", precision, mean,
+                precision, stddev);
+  return buf;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_below(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double p) const {
+  if (sorted_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points < 2) return out;
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, fraction_below(x));
+  }
+  return out;
+}
+
+std::string render_ascii_cdf(
+    const std::vector<std::pair<std::string, const Cdf*>>& series,
+    double x_min, double x_max, int width, int height,
+    const std::string& x_label) {
+  static const char kMarks[] = {'*', 'o', '+', 'x', '#', '@'};
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const Cdf* cdf = series[s].second;
+    if (cdf == nullptr || cdf->count() == 0) continue;
+    const char mark = kMarks[s % sizeof(kMarks)];
+    for (int col = 0; col < width; ++col) {
+      const double x = x_min + (x_max - x_min) * col / (width - 1);
+      const double f = cdf->fraction_below(x);
+      int row = static_cast<int>((1.0 - f) * (height - 1) + 0.5);
+      row = std::clamp(row, 0, height - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+    }
+  }
+
+  std::string out;
+  for (int row = 0; row < height; ++row) {
+    const double f = 1.0 - static_cast<double>(row) / (height - 1);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%4.2f |", f);
+    out += label;
+    out += grid[static_cast<std::size_t>(row)];
+    out += '\n';
+  }
+  out += "     +";
+  out += std::string(static_cast<std::size_t>(width), '-');
+  out += '\n';
+  char axis[128];
+  std::snprintf(axis, sizeof(axis), "      %-10.3g%*s%10.3g  %s\n", x_min,
+                width - 20, "", x_max, x_label.c_str());
+  out += axis;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    char legend[96];
+    std::snprintf(legend, sizeof(legend), "      [%c] %s\n",
+                  kMarks[s % sizeof(kMarks)], series[s].first.c_str());
+    out += legend;
+  }
+  return out;
+}
+
+}  // namespace quicsteps::metrics

@@ -1,0 +1,69 @@
+#include "metrics/train_analyzer.hpp"
+
+#include <algorithm>
+
+namespace quicsteps::metrics {
+
+double TrainReport::fraction_in_trains_up_to(std::size_t n) const {
+  if (total_packets == 0) return 0.0;
+  std::int64_t covered = 0;
+  for (const auto& [len, packets] : packets_by_length) {
+    if (len <= n) covered += packets;
+  }
+  return static_cast<double>(covered) / static_cast<double>(total_packets);
+}
+
+std::size_t TrainReport::max_train_length() const {
+  return packets_by_length.empty() ? 0 : packets_by_length.rbegin()->first;
+}
+
+double TrainReport::mean_train_length() const {
+  if (train_lengths.empty()) return 0.0;
+  std::int64_t sum = 0;
+  for (auto len : train_lengths) sum += static_cast<std::int64_t>(len);
+  return static_cast<double>(sum) /
+         static_cast<double>(train_lengths.size());
+}
+
+Cdf TrainReport::packet_train_cdf() const {
+  std::vector<double> per_packet;
+  per_packet.reserve(static_cast<std::size_t>(total_packets));
+  for (const auto& [len, packets] : packets_by_length) {
+    for (std::int64_t i = 0; i < packets; ++i) {
+      per_packet.push_back(static_cast<double>(len));
+    }
+  }
+  return Cdf(std::move(per_packet));
+}
+
+TrainReport TrainAnalyzer::analyze(
+    const std::vector<net::Packet>& capture) const {
+  GapAnalyzer::Config gap_cfg;
+  gap_cfg.flow = config_.flow;
+  return analyze_times(GapAnalyzer(gap_cfg).data_times(capture));
+}
+
+TrainReport TrainAnalyzer::analyze_times(
+    const std::vector<sim::Time>& times) const {
+  TrainReport report;
+  if (times.empty()) return report;
+
+  std::size_t current = 1;
+  auto close_train = [&report](std::size_t len) {
+    report.train_lengths.push_back(len);
+    report.packets_by_length[len] += static_cast<std::int64_t>(len);
+  };
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] - times[i - 1] < config_.threshold) {
+      ++current;
+    } else {
+      close_train(current);
+      current = 1;
+    }
+  }
+  close_train(current);
+  report.total_packets = static_cast<std::int64_t>(times.size());
+  return report;
+}
+
+}  // namespace quicsteps::metrics

@@ -1,0 +1,18 @@
+#include "net/counters.hpp"
+
+#include <cstdio>
+
+namespace quicsteps::net {
+
+std::string Counters::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "in=%lld out=%lld dropped=%lld queued=%lld",
+                static_cast<long long>(packets_in),
+                static_cast<long long>(packets_out),
+                static_cast<long long>(packets_dropped),
+                static_cast<long long>(packets_queued()));
+  return buf;
+}
+
+}  // namespace quicsteps::net

@@ -1,0 +1,42 @@
+// Per-component packet accounting.
+//
+// Every element in the path (qdiscs, links, shapers) owns a Counters
+// instance; the framework reads them after a run to report dropped packets
+// (paper Tables 1 and 2) and to assert packet conservation in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace quicsteps::net {
+
+struct Counters {
+  std::int64_t packets_in = 0;
+  std::int64_t bytes_in = 0;
+  std::int64_t packets_out = 0;
+  std::int64_t bytes_out = 0;
+  std::int64_t packets_dropped = 0;
+  std::int64_t bytes_dropped = 0;
+
+  void count_in(std::int64_t bytes) {
+    ++packets_in;
+    bytes_in += bytes;
+  }
+  void count_out(std::int64_t bytes) {
+    ++packets_out;
+    bytes_out += bytes;
+  }
+  void count_drop(std::int64_t bytes) {
+    ++packets_dropped;
+    bytes_dropped += bytes;
+  }
+
+  /// Packets accepted but not yet forwarded or dropped.
+  std::int64_t packets_queued() const {
+    return packets_in - packets_out - packets_dropped;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace quicsteps::net

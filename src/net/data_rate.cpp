@@ -1,0 +1,49 @@
+#include "net/data_rate.hpp"
+
+#include <cstdio>
+
+namespace quicsteps::net {
+
+DataRate DataRate::bytes_per(std::int64_t bytes, sim::Duration period) {
+  if (period <= sim::Duration::zero()) return DataRate::zero();
+  const double bps =
+      static_cast<double>(bytes) * 8.0 / period.to_seconds();
+  return DataRate::bits_per_second(static_cast<std::int64_t>(bps));
+}
+
+sim::Duration DataRate::transmit_time(std::int64_t bytes) const {
+  if (bytes <= 0 || is_infinite()) return sim::Duration::zero();
+  if (bps_ <= 0) return sim::Duration::infinite();
+  // ns = bytes * 8 * 1e9 / bps, computed in double to avoid overflow for
+  // large buffers on slow links; sub-nanosecond truncation is irrelevant.
+  const double ns =
+      static_cast<double>(bytes) * 8e9 / static_cast<double>(bps_);
+  return sim::Duration::nanos(static_cast<std::int64_t>(ns));
+}
+
+std::int64_t DataRate::bytes_in(sim::Duration d) const {
+  if (d <= sim::Duration::zero() || bps_ <= 0) return 0;
+  const double bytes = static_cast<double>(bps_) / 8.0 * d.to_seconds();
+  // Tolerate floating-point dust so exact-rate round trips stay exact.
+  return static_cast<std::int64_t>(bytes + 1e-6);
+}
+
+std::string DataRate::to_string() const {
+  char buf[64];
+  if (is_infinite()) return "inf";
+  if (bps_ >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fGbit/s",
+                  static_cast<double>(bps_) / 1e9);
+  } else if (bps_ >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fMbit/s",
+                  static_cast<double>(bps_) / 1e6);
+  } else if (bps_ >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fkbit/s",
+                  static_cast<double>(bps_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldbit/s", static_cast<long long>(bps_));
+  }
+  return buf;
+}
+
+}  // namespace quicsteps::net

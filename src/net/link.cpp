@@ -1,0 +1,35 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+namespace quicsteps::net {
+
+void Link::deliver(Packet pkt) {
+  counters_.count_in(pkt.size_bytes);
+
+  if (config_.buffer_bytes > 0 &&
+      backlog_bytes_ + pkt.size_bytes > config_.buffer_bytes) {
+    counters_.count_drop(pkt.size_bytes);
+    return;
+  }
+
+  const sim::Time now = loop_.now();
+  const sim::Time start = sim::max(now, busy_until_);
+  const sim::Duration tx = config_.rate.transmit_time(pkt.size_bytes);
+  const sim::Time done = start + tx;
+  busy_until_ = done;
+  backlog_bytes_ += pkt.size_bytes;
+
+  const std::int64_t size = pkt.size_bytes;
+  // The buffer slot frees when serialization completes ...
+  loop_.schedule_at(done, [this, size] { backlog_bytes_ -= size; });
+  // ... and the packet reaches the far end one propagation delay later.
+  loop_.schedule_at(done + config_.delay, [this, pkt = std::move(pkt)]() mutable {
+    counters_.count_out(pkt.size_bytes);
+    if (downstream_ != nullptr) {
+      downstream_->deliver(std::move(pkt));
+    }
+  });
+}
+
+}  // namespace quicsteps::net

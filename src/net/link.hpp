@@ -1,0 +1,53 @@
+// Point-to-point link with serialization rate, propagation delay and a
+// drop-tail buffer.
+//
+// The link models the physical path between two components: packets are
+// serialized one after another at `rate` (an infinite rate makes the link a
+// pure delay element), then arrive at the downstream sink `delay` later.
+// The buffer bounds the bytes waiting for or undergoing serialization; a
+// packet arriving at a full buffer is dropped (drop-tail), which is how the
+// bottleneck in the measurement topology loses packets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/counters.hpp"
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+
+namespace quicsteps::net {
+
+class Link final : public PacketSink {
+ public:
+  struct Config {
+    DataRate rate = DataRate::infinite();
+    sim::Duration delay = sim::Duration::zero();
+    /// Bytes of buffering before the serializer; <=0 means unlimited.
+    std::int64_t buffer_bytes = -1;
+    std::string name = "link";
+  };
+
+  Link(sim::EventLoop& loop, Config config, PacketSink* downstream)
+      : loop_(loop), config_(config), downstream_(downstream) {}
+
+  void deliver(Packet pkt) override;
+
+  void set_downstream(PacketSink* sink) { downstream_ = sink; }
+  const Counters& counters() const { return counters_; }
+  const Config& config() const { return config_; }
+  /// Bytes currently waiting for (or in) serialization.
+  std::int64_t backlog_bytes() const { return backlog_bytes_; }
+  /// Instant at which the serializer becomes free.
+  sim::Time busy_until() const { return busy_until_; }
+
+ private:
+  sim::EventLoop& loop_;
+  Config config_;
+  PacketSink* downstream_;
+  Counters counters_;
+  std::int64_t backlog_bytes_ = 0;
+  sim::Time busy_until_;
+};
+
+}  // namespace quicsteps::net

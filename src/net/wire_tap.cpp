@@ -1,0 +1,3 @@
+#include "net/wire_tap.hpp"
+
+// WireTap is header-only; this translation unit anchors the library target.

@@ -1,0 +1,49 @@
+// Passive optical-tap model (the paper's sniffer).
+//
+// The tap sits on the wire between the server NIC and the bottleneck. It
+// stamps each packet's `wire_time` with the exact simulated instant and
+// keeps a copy (the capture), then forwards the original unchanged. Like
+// the real fiber tap + MoonGen setup, observation is perfectly
+// non-intrusive: it adds no delay and never drops.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+
+namespace quicsteps::net {
+
+class WireTap final : public PacketSink {
+ public:
+  WireTap(sim::EventLoop& loop, PacketSink* downstream)
+      : loop_(loop), downstream_(downstream) {}
+
+  void deliver(Packet pkt) override {
+    pkt.wire_time = loop_.now();
+    capture_.push_back(pkt);
+    if (on_packet_) on_packet_(pkt);
+    if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));
+  }
+
+  void set_downstream(PacketSink* sink) { downstream_ = sink; }
+
+  /// Full capture, in wire order.
+  const std::vector<Packet>& capture() const { return capture_; }
+  void clear() { capture_.clear(); }
+
+  /// Optional live callback (used by long-running experiments to stream
+  /// metrics instead of retaining the whole capture).
+  void set_on_packet(std::function<void(const Packet&)> cb) {
+    on_packet_ = std::move(cb);
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  PacketSink* downstream_;
+  std::vector<Packet> capture_;
+  std::function<void(const Packet&)> on_packet_;
+};
+
+}  // namespace quicsteps::net

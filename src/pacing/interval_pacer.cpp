@@ -1,0 +1,28 @@
+#include "pacing/interval_pacer.hpp"
+
+namespace quicsteps::pacing {
+
+sim::Time IntervalPacer::earliest_send_time(sim::Time now, std::int64_t,
+                                            net::DataRate rate) {
+  if (!started_ || rate.is_zero() || rate.is_infinite()) return now;
+  // No credit accumulates: a schedule that fell behind restarts at now.
+  // A schedule that ran ahead is clamped (quantum release + catch-up).
+  return sim::min(sim::max(next_allowed_, now), now + max_ahead_);
+}
+
+void IntervalPacer::on_packet_sent(sim::Time at, std::int64_t bytes,
+                                   net::DataRate rate) {
+  if (rate.is_zero() || rate.is_infinite()) {
+    next_allowed_ = at;
+    started_ = true;
+    return;
+  }
+  const sim::Time base = started_ ? sim::max(at, next_allowed_) : at;
+  next_allowed_ =
+      sim::min(base + rate.transmit_time(bytes), at + max_ahead_);
+  started_ = true;
+}
+
+void IntervalPacer::reset() { started_ = false; }
+
+}  // namespace quicsteps::pacing

@@ -1,0 +1,32 @@
+#include "pacing/pacer.hpp"
+
+#include "pacing/interval_pacer.hpp"
+#include "pacing/leaky_bucket_pacer.hpp"
+
+namespace quicsteps::pacing {
+
+const char* to_string(PacerKind kind) {
+  switch (kind) {
+    case PacerKind::kNone:
+      return "none";
+    case PacerKind::kInterval:
+      return "interval";
+    case PacerKind::kLeakyBucket:
+      return "leaky-bucket";
+  }
+  return "?";
+}
+
+std::unique_ptr<Pacer> make_pacer(const PacerConfig& config) {
+  switch (config.kind) {
+    case PacerKind::kNone:
+      return std::make_unique<NullPacer>();
+    case PacerKind::kInterval:
+      return std::make_unique<IntervalPacer>(config.max_schedule_ahead);
+    case PacerKind::kLeakyBucket:
+      return std::make_unique<LeakyBucketPacer>(config.bucket_depth_bytes);
+  }
+  return nullptr;
+}
+
+}  // namespace quicsteps::pacing

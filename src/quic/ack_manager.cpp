@@ -1,0 +1,32 @@
+#include "quic/ack_manager.hpp"
+
+namespace quicsteps::quic {
+
+bool AckManager::on_packet_received(std::uint64_t pn, bool ack_eliciting,
+                                    sim::Time now) {
+  const bool fresh = received_.insert(pn);
+  if (!fresh) return false;
+  if (pn >= received_.largest()) largest_recv_time_ = now;
+  if (ack_eliciting) {
+    if (pending_ack_eliciting_ == 0) first_pending_time_ = now;
+    ++pending_ack_eliciting_;
+  }
+  return true;
+}
+
+sim::Time AckManager::ack_deadline() const {
+  if (pending_ack_eliciting_ == 0) return sim::Time::infinite();
+  if (ack_due_now()) return first_pending_time_;
+  return first_pending_time_ + config_.max_ack_delay;
+}
+
+std::shared_ptr<const net::TransportAck> AckManager::build_ack(sim::Time now) {
+  auto ack = std::make_shared<net::TransportAck>();
+  ack->blocks = received_.to_ack_blocks(config_.max_ack_blocks);
+  ack->ack_delay = now - largest_recv_time_;
+  pending_ack_eliciting_ = 0;
+  first_pending_time_ = sim::Time::infinite();
+  return ack;
+}
+
+}  // namespace quicsteps::quic

@@ -1,0 +1,53 @@
+// Receiver-side acknowledgment policy (RFC 9000 §13.2): ACK every second
+// ack-eliciting packet, or after max_ack_delay, whichever first. The ACK
+// frequency shapes ACK clocking on the sender and thus pacing behavior —
+// the paper's background section flags this interaction explicitly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "quic/frames.hpp"
+#include "sim/time.hpp"
+
+namespace quicsteps::quic {
+
+class AckManager {
+ public:
+  struct Config {
+    int ack_eliciting_threshold = 2;  // RFC 9000 recommendation
+    sim::Duration max_ack_delay = sim::Duration::millis(25);
+    std::size_t max_ack_blocks = 32;
+  };
+
+  AckManager() : AckManager(Config{}) {}
+  explicit AckManager(Config config) : config_(config) {}
+
+  /// Records an incoming packet. Returns true if it was new (not a dup).
+  bool on_packet_received(std::uint64_t pn, bool ack_eliciting, sim::Time now);
+
+  /// True when the threshold forces an immediate ACK.
+  bool ack_due_now() const {
+    return pending_ack_eliciting_ >= config_.ack_eliciting_threshold;
+  }
+  /// Deadline of the delayed-ACK timer; infinite when nothing is pending.
+  sim::Time ack_deadline() const;
+
+  bool has_pending() const { return pending_ack_eliciting_ > 0; }
+  std::uint64_t largest_received() const { return received_.largest(); }
+
+  /// Builds the ACK payload and clears the pending state.
+  std::shared_ptr<const net::TransportAck> build_ack(sim::Time now);
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  PacketNumberSet received_;
+  int pending_ack_eliciting_ = 0;
+  sim::Time largest_recv_time_;
+  sim::Time first_pending_time_ = sim::Time::infinite();
+};
+
+}  // namespace quicsteps::quic

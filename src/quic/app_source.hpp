@@ -1,0 +1,61 @@
+// Application data sources — the workloads the paper's introduction
+// motivates beyond the bulk download its evaluation uses:
+//   kBulk     the whole payload is available at t=0 (the paper's 100 MiB
+//             HTTP download);
+//   kChunked  a media segment of `chunk_bytes` becomes available every
+//             `period` (DASH-style video-on-demand);
+//   kCbr      bytes accrue continuously at `rate` (a real-time video
+//             call / live stream).
+//
+// App-limited sources are where pacing strategies differ most: every idle
+// period restarts the pacer, and credit-based pacers (picoquic's bucket)
+// answer a refilled bucket with a burst.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/data_rate.hpp"
+#include "quic/connection.hpp"
+#include "sim/event_loop.hpp"
+
+namespace quicsteps::quic {
+
+enum class SourceKind : std::uint8_t { kBulk, kChunked, kCbr };
+
+const char* to_string(SourceKind kind);
+
+struct SourceConfig {
+  SourceKind kind = SourceKind::kBulk;
+  /// kChunked: segment size and release period.
+  std::int64_t chunk_bytes = 512 * 1024;
+  sim::Duration period = sim::Duration::seconds(1);
+  /// kCbr: media bitrate; availability is granted per `frame_interval`
+  /// (e.g. a 30 fps encoder hands the stack one frame every 33 ms).
+  net::DataRate rate = net::DataRate::megabits_per_second(2);
+  sim::Duration frame_interval = sim::Duration::millis(33);
+};
+
+/// Drives Connection::set_available_bytes over simulated time and pokes
+/// the sender when new data appears.
+class AppSource {
+ public:
+  AppSource(sim::EventLoop& loop, Connection& connection,
+            SourceConfig config, std::function<void()> on_new_data);
+
+  /// Begins releasing data (bulk releases everything immediately).
+  void start();
+
+  const SourceConfig& config() const { return config_; }
+
+ private:
+  void release_next();
+
+  sim::EventLoop& loop_;
+  Connection& connection_;
+  SourceConfig config_;
+  std::function<void()> on_new_data_;
+  std::int64_t released_ = 0;
+};
+
+}  // namespace quicsteps::quic

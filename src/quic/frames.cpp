@@ -1,0 +1,92 @@
+#include "quic/frames.hpp"
+
+#include <algorithm>
+
+namespace quicsteps::quic {
+
+bool PacketNumberSet::insert(std::uint64_t pn) {
+  if (contains(pn)) return false;
+
+  // Find potential neighbors to merge with.
+  auto right = intervals_.lower_bound(pn);  // first interval starting > pn-?
+  bool merge_left = false, merge_right = false;
+  auto left = intervals_.end();
+  if (right != intervals_.begin()) {
+    left = std::prev(right);
+    if (left->second + 1 == pn) merge_left = true;
+  }
+  if (right != intervals_.end() && pn + 1 == right->first) merge_right = true;
+
+  if (merge_left && merge_right) {
+    left->second = right->second;
+    intervals_.erase(right);
+  } else if (merge_left) {
+    left->second = pn;
+  } else if (merge_right) {
+    const std::uint64_t end = right->second;
+    intervals_.erase(right);
+    intervals_.emplace(pn, end);
+  } else {
+    intervals_.emplace(pn, pn);
+  }
+  return true;
+}
+
+bool PacketNumberSet::contains(std::uint64_t pn) const {
+  auto it = intervals_.upper_bound(pn);
+  if (it == intervals_.begin()) return false;
+  --it;
+  return pn >= it->first && pn <= it->second;
+}
+
+std::uint64_t PacketNumberSet::largest() const {
+  if (intervals_.empty()) return 0;
+  return std::prev(intervals_.end())->second;
+}
+
+std::vector<net::AckBlock> PacketNumberSet::to_ack_blocks(
+    std::size_t max_blocks) const {
+  std::vector<net::AckBlock> blocks;
+  if (intervals_.empty() || max_blocks == 0) return blocks;
+  // Newest ranges first; the OLDEST interval always rides along (it is the
+  // cumulative ACK for the TCP model and cheap insurance for QUIC).
+  const auto oldest = intervals_.begin();
+  for (auto it = intervals_.rbegin();
+       it != intervals_.rend() && blocks.size() + 1 < max_blocks; ++it) {
+    if (it->first == oldest->first) break;
+    blocks.push_back(net::AckBlock{it->first, it->second});
+  }
+  blocks.push_back(net::AckBlock{oldest->first, oldest->second});
+  return blocks;
+}
+
+std::int64_t ByteIntervalSet::add(std::int64_t offset, std::int64_t length) {
+  if (length <= 0) return 0;
+  std::int64_t start = offset;
+  std::int64_t end = offset + length;
+
+  // Absorb every interval overlapping or touching [start, end).
+  auto it = intervals_.upper_bound(start);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) it = prev;
+  }
+  std::int64_t absorbed = 0;
+  while (it != intervals_.end() && it->first <= end) {
+    start = std::min(start, it->first);
+    end = std::max(end, it->second);
+    absorbed += it->second - it->first;
+    it = intervals_.erase(it);
+  }
+  intervals_.emplace(start, end);
+  const std::int64_t new_bytes = (end - start) - absorbed;
+  covered_ += new_bytes;
+  return new_bytes;
+}
+
+std::int64_t ByteIntervalSet::contiguous_prefix() const {
+  if (intervals_.empty() || intervals_.begin()->first != 0) return 0;
+  return intervals_.begin()->second;
+}
+
+}  // namespace quicsteps::quic

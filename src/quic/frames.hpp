@@ -1,0 +1,64 @@
+// QUIC frame-level helpers.
+//
+// The simulator does not serialize wire images; packets carry structured
+// metadata instead (see net::Packet). This header defines the constants and
+// small helpers shared by the QUIC sender and receiver: datagram sizing and
+// the received-packet-number interval set the ACK manager maintains.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace quicsteps::quic {
+
+/// Wire size of a full QUIC datagram in these experiments.
+inline constexpr std::int64_t kDatagramSize = 1500;
+/// Application payload per full datagram (wire size minus IP/UDP/QUIC
+/// header and AEAD overhead); sets the goodput ceiling:
+/// 40 Mbit/s * 1402/1500 = 37.4 Mbit/s, matching the paper's topline.
+inline constexpr std::int64_t kPayloadPerDatagram = 1402;
+/// Wire size of a pure ACK datagram.
+inline constexpr std::int64_t kAckPacketSize = 60;
+
+/// Ordered set of received packet numbers, kept as disjoint inclusive
+/// intervals (the receiver state behind QUIC ACK ranges).
+class PacketNumberSet {
+ public:
+  /// Inserts pn; returns false if it was already present (duplicate).
+  bool insert(std::uint64_t pn);
+  bool contains(std::uint64_t pn) const;
+
+  /// Highest received packet number (0 if empty — check empty() first).
+  std::uint64_t largest() const;
+  bool empty() const { return intervals_.empty(); }
+  std::size_t interval_count() const { return intervals_.size(); }
+
+  /// Renders the newest-first ACK blocks, at most `max_blocks`.
+  std::vector<net::AckBlock> to_ack_blocks(std::size_t max_blocks) const;
+
+ private:
+  // key = interval start, value = interval end (inclusive); disjoint and
+  // non-adjacent.
+  std::map<std::uint64_t, std::uint64_t> intervals_;
+};
+
+/// Ordered set of received byte ranges (stream reassembly bookkeeping on
+/// the client; completion = one interval covering [0, total)).
+class ByteIntervalSet {
+ public:
+  /// Adds [offset, offset + length); returns the number of NEW bytes.
+  std::int64_t add(std::int64_t offset, std::int64_t length);
+  std::int64_t covered_bytes() const { return covered_; }
+  /// Contiguous prefix [0, n) fully received.
+  std::int64_t contiguous_prefix() const;
+  std::size_t interval_count() const { return intervals_.size(); }
+
+ private:
+  std::map<std::int64_t, std::int64_t> intervals_;  // start -> end (excl.)
+  std::int64_t covered_ = 0;
+};
+
+}  // namespace quicsteps::quic

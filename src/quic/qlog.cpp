@@ -1,0 +1,66 @@
+#include "quic/qlog.hpp"
+
+namespace quicsteps::quic {
+
+void QlogWriter::write_header(const std::string& title) {
+  out_ << "{\"qlog_format\":\"JSON-SEQ\",\"qlog_version\":\"0.4\","
+          "\"title\":\""
+       << title << "\",\"generator\":\"quicsteps\"}\n";
+}
+
+void QlogWriter::prefix(sim::Time now, const char* name) {
+  out_ << "{\"time\":" << now.to_millis() << ",\"name\":\"" << name
+       << "\",\"data\":";
+}
+
+void QlogWriter::on_packet_sent(sim::Time now, const net::Packet& pkt) {
+  prefix(now, "transport:packet_sent");
+  out_ << "{\"header\":{\"packet_type\":\"1RTT\",\"packet_number\":"
+       << pkt.packet_number << "},\"raw\":{\"length\":" << pkt.size_bytes
+       << "}";
+  if (pkt.stream_offset >= 0) {
+    out_ << ",\"frames\":[{\"frame_type\":\"stream\",\"offset\":"
+         << pkt.stream_offset << ",\"length\":" << pkt.stream_length
+         << (pkt.fin ? ",\"fin\":true" : "") << "}]";
+  }
+  if (pkt.has_txtime) {
+    out_ << ",\"txtime_ms\":" << pkt.txtime.to_millis();
+  }
+  out_ << ",\"intended_send_ms\":" << pkt.expected_send_time.to_millis()
+       << "}}\n";
+  ++events_;
+}
+
+void QlogWriter::on_ack_processed(sim::Time now, std::uint64_t largest_acked,
+                                  std::int64_t acked_bytes) {
+  prefix(now, "transport:packet_received");
+  out_ << "{\"header\":{\"packet_type\":\"1RTT\"},\"frames\":[{"
+          "\"frame_type\":\"ack\",\"largest_acked\":"
+       << largest_acked << ",\"acked_bytes\":" << acked_bytes << "}]}}\n";
+  ++events_;
+}
+
+void QlogWriter::on_packets_lost(sim::Time now, std::int64_t lost_packets,
+                                 std::int64_t lost_bytes) {
+  prefix(now, "recovery:packet_lost");
+  out_ << "{\"packets\":" << lost_packets << ",\"bytes\":" << lost_bytes
+       << "}}\n";
+  ++events_;
+}
+
+void QlogWriter::on_metrics(sim::Time now, std::int64_t cwnd,
+                            std::int64_t bytes_in_flight,
+                            sim::Duration smoothed_rtt,
+                            net::DataRate pacing_rate) {
+  prefix(now, "recovery:metrics_updated");
+  out_ << "{\"congestion_window\":" << cwnd
+       << ",\"bytes_in_flight\":" << bytes_in_flight
+       << ",\"smoothed_rtt\":" << smoothed_rtt.to_millis();
+  if (!pacing_rate.is_infinite() && !pacing_rate.is_zero()) {
+    out_ << ",\"pacing_rate\":" << pacing_rate.bps();
+  }
+  out_ << "}}\n";
+  ++events_;
+}
+
+}  // namespace quicsteps::quic

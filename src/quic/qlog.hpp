@@ -1,0 +1,41 @@
+// qlog-style structured tracing (draft-ietf-quic-qlog "seq" flavor):
+// newline-delimited JSON events a qvis-like tool can consume. Covers the
+// event classes the pacing study cares about: packet_sent (with the
+// intended txtime), acks, loss, and recovery metric updates.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "quic/connection.hpp"
+
+namespace quicsteps::quic {
+
+/// Writes one JSON object per line in qlog-seq style.
+class QlogWriter final : public ConnectionObserver {
+ public:
+  explicit QlogWriter(std::ostream& out) : out_(out) {}
+
+  /// Emits the qlog header record (file-level metadata).
+  void write_header(const std::string& title);
+
+  void on_packet_sent(sim::Time now, const net::Packet& pkt) override;
+  void on_ack_processed(sim::Time now, std::uint64_t largest_acked,
+                        std::int64_t acked_bytes) override;
+  void on_packets_lost(sim::Time now, std::int64_t lost_packets,
+                       std::int64_t lost_bytes) override;
+  void on_metrics(sim::Time now, std::int64_t cwnd,
+                  std::int64_t bytes_in_flight, sim::Duration smoothed_rtt,
+                  net::DataRate pacing_rate) override;
+
+  std::int64_t events_written() const { return events_; }
+
+ private:
+  void prefix(sim::Time now, const char* name);
+
+  std::ostream& out_;
+  std::int64_t events_ = 0;
+};
+
+}  // namespace quicsteps::quic

@@ -1,0 +1,32 @@
+// RTT estimation per RFC 9002 Section 5.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace quicsteps::quic {
+
+class RttEstimator {
+ public:
+  /// Feeds one RTT sample; `ack_delay` is the peer-reported delay, applied
+  /// per RFC 9002 §5.3 (subtracted only when it keeps the sample >= min).
+  void update(sim::Duration latest, sim::Duration ack_delay,
+              sim::Duration max_ack_delay);
+
+  bool has_samples() const { return has_samples_; }
+  sim::Duration latest() const { return latest_; }
+  sim::Duration smoothed() const { return smoothed_; }
+  sim::Duration rttvar() const { return rttvar_; }
+  sim::Duration min() const { return min_; }
+
+  /// PTO interval per RFC 9002 §6.2.1 (excluding the backoff multiplier).
+  sim::Duration pto_interval(sim::Duration max_ack_delay) const;
+
+ private:
+  bool has_samples_ = false;
+  sim::Duration latest_;
+  sim::Duration smoothed_ = sim::Duration::millis(333);  // kInitialRtt
+  sim::Duration rttvar_ = sim::Duration::millis(333) / 2;
+  sim::Duration min_ = sim::Duration::infinite();
+};
+
+}  // namespace quicsteps::quic

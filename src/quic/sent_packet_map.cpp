@@ -1,0 +1,49 @@
+#include "quic/sent_packet_map.hpp"
+
+#include <algorithm>
+
+namespace quicsteps::quic {
+
+void SentPacketMap::add(SentPacket pkt) {
+  if (pkt.in_flight) bytes_in_flight_ += pkt.bytes;
+  packets_.emplace(pkt.pn, std::move(pkt));
+}
+
+SentPacketMap::AckResult SentPacketMap::on_ack_blocks(
+    const std::vector<net::AckBlock>& blocks) {
+  AckResult result;
+  for (const auto& block : blocks) {
+    auto it = packets_.lower_bound(block.first);
+    while (it != packets_.end() && it->first <= block.last) {
+      if (it->second.in_flight) bytes_in_flight_ -= it->second.bytes;
+      result.acked_bytes += it->second.bytes;
+      result.newly_acked.push_back(std::move(it->second));
+      it = packets_.erase(it);
+    }
+  }
+  // Blocks arrive newest-first; report ascending for deterministic
+  // processing.
+  std::sort(result.newly_acked.begin(), result.newly_acked.end(),
+            [](const SentPacket& a, const SentPacket& b) { return a.pn < b.pn; });
+  return result;
+}
+
+bool SentPacketMap::take(std::uint64_t pn, SentPacket* out) {
+  auto it = packets_.find(pn);
+  if (it == packets_.end()) return false;
+  if (it->second.in_flight) bytes_in_flight_ -= it->second.bytes;
+  if (out != nullptr) *out = std::move(it->second);
+  packets_.erase(it);
+  return true;
+}
+
+const SentPacket* SentPacketMap::find(std::uint64_t pn) const {
+  auto it = packets_.find(pn);
+  return it == packets_.end() ? nullptr : &it->second;
+}
+
+const SentPacket* SentPacketMap::oldest() const {
+  return packets_.empty() ? nullptr : &packets_.begin()->second;
+}
+
+}  // namespace quicsteps::quic

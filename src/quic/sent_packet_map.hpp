@@ -1,0 +1,67 @@
+// Sender-side bookkeeping of unacknowledged packets, including the
+// delivery-rate sampling state BBR consumes (a compact version of the
+// rate-sample algorithm from draft-cheng-iccrg-delivery-rate-estimation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace quicsteps::quic {
+
+struct SentPacket {
+  std::uint64_t pn = 0;
+  std::int64_t bytes = 0;
+  sim::Time time_sent;
+  bool ack_eliciting = true;
+  bool in_flight = true;
+  /// STREAM chunk carried (offset < 0 = none, e.g. a PING probe).
+  std::int64_t stream_offset = -1;
+  std::int64_t stream_length = 0;
+  bool fin = false;
+  // Delivery-rate snapshot at send time.
+  std::int64_t delivered_at_send = 0;
+  sim::Time delivered_time_at_send;
+  bool app_limited_at_send = false;
+};
+
+class SentPacketMap {
+ public:
+  void add(SentPacket pkt);
+
+  /// Removes and returns all tracked packets covered by `blocks`
+  /// (ascending pn order).
+  struct AckResult {
+    std::vector<SentPacket> newly_acked;
+    std::int64_t acked_bytes = 0;
+  };
+  AckResult on_ack_blocks(const std::vector<net::AckBlock>& blocks);
+
+  /// Removes and returns the packet with number `pn` if still tracked.
+  bool take(std::uint64_t pn, SentPacket* out);
+
+  const SentPacket* find(std::uint64_t pn) const;
+  bool empty() const { return packets_.empty(); }
+  std::size_t size() const { return packets_.size(); }
+  std::int64_t bytes_in_flight() const { return bytes_in_flight_; }
+  /// Oldest unacked packet, nullptr when empty.
+  const SentPacket* oldest() const;
+
+  /// Iterates tracked packets with pn < bound (loss-detection scan).
+  template <typename Fn>
+  void for_each_below(std::uint64_t bound, Fn&& fn) const {
+    for (const auto& [pn, pkt] : packets_) {
+      if (pn >= bound) break;
+      fn(pkt);
+    }
+  }
+
+ private:
+  std::map<std::uint64_t, SentPacket> packets_;
+  std::int64_t bytes_in_flight_ = 0;
+};
+
+}  // namespace quicsteps::quic

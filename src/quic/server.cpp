@@ -1,0 +1,48 @@
+#include "quic/server.hpp"
+
+namespace quicsteps::quic {
+
+void ReferenceServer::attempt_send() {
+  const sim::Time now = loop_.now();
+  while (connection_.has_data_to_send()) {
+    if (connection_.congestion_blocked()) {
+      planned_release_ = sim::Time::infinite();
+      return;  // an ACK will wake us
+    }
+    sim::Time intended = connection_.pacer_release_time(now);
+    // If we armed a timer for this packet, keep the pre-sleep intent even
+    // when the wakeup landed late (that lateness IS the precision error).
+    if (!planned_release_.is_infinite() && planned_release_ <= now) {
+      intended = planned_release_;
+      planned_release_ = sim::Time::infinite();
+    }
+    if (intended > now) {
+      if (!send_timer_.pending()) {
+        planned_release_ = intended;
+        send_timer_ =
+            timers_ != nullptr
+                ? timers_->arm(intended, [this] { attempt_send(); })
+                : loop_.schedule_at(intended, [this] { attempt_send(); });
+      }
+      return;
+    }
+    net::Packet pkt = connection_.build_packet(now, intended);
+    rearm_loss_timer();
+    if (egress_ != nullptr) egress_->deliver(std::move(pkt));
+  }
+  planned_release_ = sim::Time::infinite();
+  connection_.set_app_limited();
+}
+
+void ReferenceServer::rearm_loss_timer() {
+  loss_timer_.cancel();
+  const sim::Time deadline = connection_.next_timer_deadline();
+  if (deadline.is_infinite()) return;
+  loss_timer_ = loop_.schedule_at(deadline, [this] {
+    connection_.on_timer(loop_.now());
+    rearm_loss_timer();
+    attempt_send();
+  });
+}
+
+}  // namespace quicsteps::quic

@@ -1,0 +1,71 @@
+#include "sim/event_loop.hpp"
+
+#include <utility>
+
+namespace quicsteps::sim {
+
+void EventHandle::cancel() {
+  if (alive_ && *alive_) {
+    *alive_ = false;
+    if (cancelled_count_) ++*cancelled_count_;
+  }
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle EventLoop::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive), cancelled_count_);
+}
+
+EventHandle EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventLoop::skim() const {
+  while (!queue_.empty() && !*queue_.top().alive) {
+    queue_.pop();
+    --*cancelled_count_;
+  }
+}
+
+bool EventLoop::run_one() {
+  skim();
+  if (queue_.empty()) return false;
+  // Move the entry out before running: the callback may schedule or cancel.
+  Entry entry = queue_.top();
+  queue_.pop();
+  *entry.alive = false;  // Executed events are no longer cancellable.
+  now_ = entry.at;
+  entry.fn();
+  return true;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t n = 0;
+  while (run_one()) ++n;
+  return n;
+}
+
+std::size_t EventLoop::run_until(Time deadline) {
+  std::size_t n = 0;
+  for (;;) {
+    skim();
+    if (queue_.empty() || queue_.top().at > deadline) break;
+    run_one();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+Time EventLoop::next_event_time() const {
+  skim();
+  if (queue_.empty()) return Time::infinite();
+  return queue_.top().at;
+}
+
+}  // namespace quicsteps::sim

@@ -1,0 +1,99 @@
+// Deterministic discrete-event scheduler.
+//
+// The loop owns a priority queue of (time, sequence, callback) entries.
+// Events at the same instant run in scheduling order, which makes every run
+// of a given seed bit-for-bit reproducible. Scheduled events can be
+// cancelled through the returned handle; cancellation is O(1) (the entry is
+// tombstoned and skipped at pop time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace quicsteps::sim {
+
+class EventLoop;
+
+/// Handle to a scheduled event. Default-constructed handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the callback from running. Safe to call repeatedly, on expired
+  /// events, and on default-constructed handles.
+  void cancel();
+
+  /// True while the event is still pending (scheduled and not cancelled).
+  bool pending() const;
+
+ private:
+  friend class EventLoop;
+  EventHandle(std::shared_ptr<bool> alive,
+              std::shared_ptr<std::size_t> cancelled_count)
+      : alive_(std::move(alive)), cancelled_count_(std::move(cancelled_count)) {}
+  std::shared_ptr<bool> alive_;
+  std::shared_ptr<std::size_t> cancelled_count_;
+};
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at`. Times in the past are
+  /// clamped to `now()` (the event still runs, immediately-next).
+  EventHandle schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` from now. Negative delays clamp to now.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Runs events until the queue is empty. Returns the number executed.
+  std::size_t run();
+
+  /// Runs events with time <= deadline; afterwards now() == deadline (or
+  /// later if the last event was exactly at the deadline).
+  std::size_t run_until(Time deadline);
+
+  /// Executes at most one pending event. Returns false if queue is empty.
+  bool run_one();
+
+  /// Number of live (non-cancelled) pending events.
+  std::size_t pending_count() const { return queue_.size() - *cancelled_count_; }
+  bool empty() const { return pending_count() == 0; }
+
+  /// Time of the earliest pending event, or Time::infinite() when empty.
+  Time next_event_time() const;
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  // Pops tombstoned entries off the top of the queue.
+  void skim() const;
+
+  // mutable so const accessors can drop tombstones they encounter.
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::shared_ptr<std::size_t> cancelled_count_ =
+      std::make_shared<std::size_t>(0);
+  Time now_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace quicsteps::sim

@@ -1,0 +1,51 @@
+// Deterministic randomness for the simulation.
+//
+// Every source of modelled noise (OS scheduling jitter, syscall cost
+// variation, timer slack, NIC clock wander) draws from one of these
+// generators. All experiment repetitions derive their generator from the
+// experiment seed plus the repetition index, so runs are reproducible and
+// repetitions are independent.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "sim/time.hpp"
+
+namespace quicsteps::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derives an independent child generator; `salt` distinguishes siblings.
+  Rng fork(std::uint64_t salt);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Uniform duration in [lo, hi].
+  Duration uniform_duration(Duration lo, Duration hi);
+
+  /// Normal-distributed duration, truncated below at `floor`.
+  Duration normal_duration(Duration mean, Duration stddev,
+                           Duration floor = Duration::zero());
+
+  /// Exponentially distributed duration with the given mean, truncated below
+  /// at zero (always true) and above at `cap` if non-infinite.
+  Duration exponential_duration(Duration mean,
+                                Duration cap = Duration::infinite());
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace quicsteps::sim

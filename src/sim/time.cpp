@@ -1,0 +1,37 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace quicsteps::sim {
+
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double abs_ns = std::abs(static_cast<double>(ns));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const {
+  if (is_infinite()) return "inf";
+  return format_ns(ns_);
+}
+
+std::string Time::to_string() const {
+  if (is_infinite()) return "inf";
+  return format_ns(ns_);
+}
+
+}  // namespace quicsteps::sim

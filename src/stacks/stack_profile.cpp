@@ -1,0 +1,5 @@
+#include "stacks/stack_profile.hpp"
+
+// The three profile factories live in their own translation units
+// (quiche_model.cpp, picoquic_model.cpp, ngtcp2_model.cpp); this file
+// anchors the shared header.

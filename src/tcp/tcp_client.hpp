@@ -1,0 +1,58 @@
+// TCP receiver (the wget side): cumulative + SACK acknowledgments with the
+// kernel's delayed-ACK policy (ACK every second segment or after the
+// delayed-ACK timer).
+#pragma once
+
+#include "net/packet.hpp"
+#include "quic/ack_manager.hpp"
+#include "quic/frames.hpp"
+#include "sim/event_loop.hpp"
+#include "tcp/tcp_connection.hpp"
+
+namespace quicsteps::tcp {
+
+class TcpClient {
+ public:
+  struct Config {
+    std::uint32_t flow = 2;
+    std::int64_t expected_payload_bytes = 0;
+    quic::AckManager::Config ack;  // same delayed-ACK shape as the kernel's
+  };
+
+  struct Stats {
+    std::int64_t segments_received = 0;
+    std::int64_t duplicate_segments = 0;
+    std::int64_t payload_bytes_received = 0;
+    std::int64_t acks_sent = 0;
+    sim::Time first_packet_time = sim::Time::infinite();
+    sim::Time last_packet_time;
+    sim::Time completion_time = sim::Time::infinite();
+  };
+
+  TcpClient(sim::EventLoop& loop, Config config, net::PacketSink* ack_egress)
+      : loop_(loop), config_(config), ack_manager_(config.ack),
+        ack_egress_(ack_egress) {}
+
+  void on_datagram(const net::Packet& pkt);
+
+  bool complete() const {
+    return config_.expected_payload_bytes > 0 &&
+           received_.covered_bytes() >= config_.expected_payload_bytes;
+  }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void send_ack_now(bool force = false);
+  void arm_ack_timer();
+
+  sim::EventLoop& loop_;
+  Config config_;
+  quic::AckManager ack_manager_;
+  net::PacketSink* ack_egress_;
+  quic::ByteIntervalSet received_;
+  Stats stats_;
+  sim::EventHandle ack_timer_;
+  std::uint64_t next_ack_id_ = 1;
+};
+
+}  // namespace quicsteps::tcp

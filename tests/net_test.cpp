@@ -1,0 +1,169 @@
+// Unit tests for the network fabric: rate math, links, drop-tail buffering,
+// and the wire tap.
+#include <gtest/gtest.h>
+
+#include "net/data_rate.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/wire_tap.hpp"
+#include "sim/event_loop.hpp"
+
+namespace quicsteps::net {
+namespace {
+
+using namespace quicsteps::sim::literals;
+using sim::Duration;
+using sim::EventLoop;
+using sim::Time;
+
+Packet make_packet(std::uint64_t id, std::int64_t size = 1500) {
+  Packet p;
+  p.id = id;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(DataRate, TransmitTimeMatchesHandMath) {
+  // 1500 B at 1 Gbit/s = 12 us — the paper's minimum inter-packet gap.
+  const auto rate = DataRate::gigabits_per_second(1);
+  EXPECT_EQ(rate.transmit_time(1500).us(), 12);
+  // 1500 B at 40 Mbit/s = 300 us.
+  EXPECT_EQ(DataRate::megabits_per_second(40).transmit_time(1500).us(), 300);
+}
+
+TEST(DataRate, EdgeRates) {
+  EXPECT_TRUE(DataRate::infinite().transmit_time(1'000'000).is_zero());
+  EXPECT_TRUE(DataRate::zero().transmit_time(1).is_infinite());
+  EXPECT_EQ(DataRate::zero().transmit_time(0), Duration::zero());
+}
+
+TEST(DataRate, BytesInInvertsTransmitTime) {
+  const auto rate = DataRate::megabits_per_second(40);
+  EXPECT_EQ(rate.bytes_in(300_us), 1500);
+  EXPECT_EQ(rate.bytes_in(Duration::zero()), 0);
+}
+
+TEST(DataRate, BytesPerConstructsInverseRate) {
+  const auto rate = DataRate::bytes_per(1500, 300_us);
+  EXPECT_NEAR(rate.mbps(), 40.0, 0.01);
+}
+
+TEST(DataRate, Formatting) {
+  EXPECT_EQ(DataRate::megabits_per_second(40).to_string(), "40.00Mbit/s");
+  EXPECT_EQ(DataRate::gigabits_per_second(1).to_string(), "1.00Gbit/s");
+}
+
+TEST(Link, PureDelayPreservesSpacingAndOrder) {
+  EventLoop loop;
+  CollectorSink sink;
+  Link link(loop, {.rate = DataRate::infinite(), .delay = 20_ms}, &sink);
+  loop.schedule_at(Time::zero() + 1_ms,
+                   [&] { link.deliver(make_packet(1)); });
+  loop.schedule_at(Time::zero() + 2_ms,
+                   [&] { link.deliver(make_packet(2)); });
+  loop.run();
+  ASSERT_EQ(sink.packets().size(), 2u);
+  EXPECT_EQ(sink.packets()[0].id, 1u);
+  EXPECT_EQ(loop.now(), Time::zero() + 22_ms);
+}
+
+TEST(Link, SerializationSpacesBackToBackPackets) {
+  EventLoop loop;
+  CollectorSink sink;
+  std::vector<Time> arrivals;
+  Link link(loop, {.rate = DataRate::gigabits_per_second(1)}, &sink);
+  // Two 1500 B packets delivered at the same instant must leave 12 us apart.
+  link.deliver(make_packet(1));
+  link.deliver(make_packet(2));
+  std::size_t events = 0;
+  while (loop.run_one()) {
+    if (sink.packets().size() > arrivals.size()) {
+      arrivals.push_back(loop.now());
+    }
+    ++events;
+  }
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ((arrivals[1] - arrivals[0]).us(), 12);
+}
+
+TEST(Link, DropTailWhenBufferFull) {
+  EventLoop loop;
+  CollectorSink sink;
+  Link link(loop,
+            {.rate = DataRate::megabits_per_second(1),
+             .delay = Duration::zero(),
+             .buffer_bytes = 3000},
+            &sink);
+  link.deliver(make_packet(1));
+  link.deliver(make_packet(2));
+  link.deliver(make_packet(3));  // exceeds the 3000 B buffer -> dropped
+  loop.run();
+  EXPECT_EQ(sink.packets().size(), 2u);
+  EXPECT_EQ(link.counters().packets_dropped, 1);
+  EXPECT_EQ(link.counters().packets_in, 3);
+  EXPECT_EQ(link.counters().packets_queued(), 0);
+}
+
+TEST(Link, BufferSlotFreesAfterSerialization) {
+  EventLoop loop;
+  CollectorSink sink;
+  Link link(loop,
+            {.rate = DataRate::megabits_per_second(12),  // 1 ms per packet
+             .delay = 100_ms,
+             .buffer_bytes = 1500},
+            &sink);
+  link.deliver(make_packet(1));
+  // While packet 1 serializes the buffer is full.
+  link.deliver(make_packet(2));
+  EXPECT_EQ(link.counters().packets_dropped, 1);
+  // After serialization completes (1 ms) the buffer frees even though the
+  // packet is still propagating (100 ms).
+  loop.run_until(Time::zero() + 2_ms);
+  link.deliver(make_packet(3));
+  loop.run();
+  EXPECT_EQ(sink.packets().size(), 2u);
+}
+
+TEST(WireTap, StampsWireTimeAndKeepsCopies) {
+  EventLoop loop;
+  CollectorSink sink;
+  WireTap tap(loop, &sink);
+  loop.schedule_at(Time::zero() + 7_ms, [&] { tap.deliver(make_packet(1)); });
+  loop.run();
+  ASSERT_EQ(tap.capture().size(), 1u);
+  EXPECT_EQ(tap.capture()[0].wire_time, Time::zero() + 7_ms);
+  ASSERT_EQ(sink.packets().size(), 1u);
+  EXPECT_EQ(sink.packets()[0].wire_time, Time::zero() + 7_ms);
+}
+
+TEST(WireTap, LiveCallbackSeesEveryPacket) {
+  EventLoop loop;
+  WireTap tap(loop, nullptr);
+  int seen = 0;
+  tap.set_on_packet([&](const Packet&) { ++seen; });
+  tap.deliver(make_packet(1));
+  tap.deliver(make_packet(2));
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(Counters, ConservationArithmetic) {
+  Counters c;
+  c.count_in(100);
+  c.count_in(100);
+  c.count_out(100);
+  c.count_drop(100);
+  EXPECT_EQ(c.packets_queued(), 0);
+  EXPECT_EQ(c.bytes_in, 200);
+}
+
+TEST(Packet, GsoBufferPredicate) {
+  Packet p = make_packet(1);
+  EXPECT_FALSE(p.is_gso_buffer());
+  auto segs = std::make_shared<std::vector<Packet>>();
+  segs->push_back(make_packet(2));
+  p.gso_segments = segs;
+  EXPECT_TRUE(p.is_gso_buffer());
+}
+
+}  // namespace
+}  // namespace quicsteps::net

@@ -1,0 +1,450 @@
+// Unit + integration tests for the QUIC transport: interval sets, RTT
+// estimation, the ACK manager's delayed-ACK policy, loss detection
+// thresholds, connection send/ack/retransmit flow, and an end-to-end
+// transfer over a lossy bottleneck using the reference server.
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "quic/ack_manager.hpp"
+#include "quic/client.hpp"
+#include "quic/connection.hpp"
+#include "quic/frames.hpp"
+#include "quic/loss_detection.hpp"
+#include "quic/rtt_estimator.hpp"
+#include "quic/server.hpp"
+
+namespace quicsteps::quic {
+namespace {
+
+using namespace quicsteps::sim::literals;
+using net::AckBlock;
+using net::DataRate;
+using net::Packet;
+using net::TransportAck;
+using sim::Duration;
+using sim::EventLoop;
+using sim::Time;
+
+// ------------------------------------------------------------ interval sets
+
+TEST(PacketNumberSet, MergesAdjacentAndDetectsDuplicates) {
+  PacketNumberSet set;
+  EXPECT_TRUE(set.insert(1));
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_EQ(set.interval_count(), 2u);
+  EXPECT_TRUE(set.insert(2));  // bridges 1..3
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_FALSE(set.insert(2));  // duplicate
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_EQ(set.largest(), 3u);
+}
+
+TEST(PacketNumberSet, AckBlocksNewestFirst) {
+  PacketNumberSet set;
+  for (std::uint64_t pn : {1, 2, 3, 7, 8, 10}) set.insert(pn);
+  auto blocks = set.to_ack_blocks(8);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].first, 10u);
+  EXPECT_EQ(blocks[0].last, 10u);
+  EXPECT_EQ(blocks[1].first, 7u);
+  EXPECT_EQ(blocks[1].last, 8u);
+  EXPECT_EQ(blocks[2].first, 1u);
+  EXPECT_EQ(blocks[2].last, 3u);
+}
+
+TEST(PacketNumberSet, BlockLimitKeepsNewest) {
+  PacketNumberSet set;
+  for (std::uint64_t pn = 0; pn < 20; pn += 2) set.insert(pn);
+  auto blocks = set.to_ack_blocks(3);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].last, 18u);
+}
+
+TEST(ByteIntervalSet, CountsNewBytesOnly) {
+  ByteIntervalSet set;
+  EXPECT_EQ(set.add(0, 100), 100);
+  EXPECT_EQ(set.add(50, 100), 50);   // half overlap
+  EXPECT_EQ(set.add(0, 150), 0);     // fully covered
+  EXPECT_EQ(set.covered_bytes(), 150);
+  EXPECT_EQ(set.contiguous_prefix(), 150);
+}
+
+TEST(ByteIntervalSet, GapBlocksPrefix) {
+  ByteIntervalSet set;
+  set.add(0, 100);
+  set.add(200, 100);
+  EXPECT_EQ(set.covered_bytes(), 200);
+  EXPECT_EQ(set.contiguous_prefix(), 100);
+  set.add(100, 100);  // fill the gap
+  EXPECT_EQ(set.contiguous_prefix(), 300);
+  EXPECT_EQ(set.interval_count(), 1u);
+}
+
+// -------------------------------------------------------------------- RTT
+
+TEST(RttEstimator, FirstSampleInitializes) {
+  RttEstimator rtt;
+  rtt.update(40_ms, Duration::zero(), 25_ms);
+  EXPECT_EQ(rtt.smoothed(), 40_ms);
+  EXPECT_EQ(rtt.rttvar(), 20_ms);
+  EXPECT_EQ(rtt.min(), 40_ms);
+}
+
+TEST(RttEstimator, EwmaConverges) {
+  RttEstimator rtt;
+  rtt.update(40_ms, Duration::zero(), 25_ms);
+  for (int i = 0; i < 100; ++i) rtt.update(50_ms, Duration::zero(), 25_ms);
+  EXPECT_NEAR(rtt.smoothed().to_millis(), 50.0, 1.0);
+  EXPECT_EQ(rtt.min(), 40_ms);
+}
+
+TEST(RttEstimator, AckDelaySubtractedOnlyAboveMin) {
+  RttEstimator rtt;
+  rtt.update(40_ms, Duration::zero(), 25_ms);
+  // 45 ms sample with 10 ms ack delay -> adjusted 35 ms would dip below
+  // min (40 ms), so the raw sample must be used.
+  rtt.update(45_ms, 10_ms, 25_ms);
+  EXPECT_GT(rtt.smoothed(), 39_ms);
+  // 60 ms sample with 10 ms delay -> adjusted 50 ms, still >= min.
+  RttEstimator rtt2;
+  rtt2.update(40_ms, Duration::zero(), 25_ms);
+  rtt2.update(60_ms, 10_ms, 25_ms);
+  EXPECT_LT(rtt2.smoothed(), 43_ms);  // (40*7 + 50)/8 = 41.25
+}
+
+TEST(RttEstimator, PtoIntervalFormula) {
+  RttEstimator rtt;
+  rtt.update(40_ms, Duration::zero(), 25_ms);
+  // srtt + max(4*rttvar, 1ms) + max_ack_delay = 40 + 80 + 25.
+  EXPECT_EQ(rtt.pto_interval(25_ms), 145_ms);
+}
+
+// ------------------------------------------------------------- AckManager
+
+TEST(AckManager, AcksEverySecondElicitingPacket) {
+  AckManager mgr;
+  EXPECT_TRUE(mgr.on_packet_received(1, true, Time::zero() + 1_ms));
+  EXPECT_FALSE(mgr.ack_due_now());
+  EXPECT_TRUE(mgr.on_packet_received(2, true, Time::zero() + 2_ms));
+  EXPECT_TRUE(mgr.ack_due_now());
+}
+
+TEST(AckManager, DelayedAckDeadline) {
+  AckManager mgr;
+  mgr.on_packet_received(1, true, Time::zero() + 1_ms);
+  EXPECT_EQ(mgr.ack_deadline(), Time::zero() + 26_ms);  // +25 ms max delay
+}
+
+TEST(AckManager, BuildAckClearsPendingAndReportsDelay) {
+  AckManager mgr;
+  mgr.on_packet_received(1, true, Time::zero() + 1_ms);
+  mgr.on_packet_received(2, true, Time::zero() + 2_ms);
+  auto ack = mgr.build_ack(Time::zero() + 5_ms);
+  EXPECT_EQ(ack->largest(), 2u);
+  EXPECT_EQ(ack->ack_delay, 3_ms);
+  EXPECT_FALSE(mgr.has_pending());
+}
+
+TEST(AckManager, DuplicateDoesNotRetrigger) {
+  AckManager mgr;
+  mgr.on_packet_received(1, true, Time::zero() + 1_ms);
+  EXPECT_FALSE(mgr.on_packet_received(1, true, Time::zero() + 2_ms));
+  EXPECT_FALSE(mgr.ack_due_now());
+}
+
+// ---------------------------------------------------------- LossDetection
+
+SentPacket sent_pkt(std::uint64_t pn, Time at) {
+  SentPacket p;
+  p.pn = pn;
+  p.bytes = kDatagramSize;
+  p.time_sent = at;
+  p.stream_offset = static_cast<std::int64_t>(pn) * kPayloadPerDatagram;
+  p.stream_length = kPayloadPerDatagram;
+  return p;
+}
+
+TEST(LossDetectionTest, PacketThresholdDeclaresLoss) {
+  SentPacketMap map;
+  for (std::uint64_t pn = 1; pn <= 5; ++pn) {
+    map.add(sent_pkt(pn, Time::zero() + Duration::millis(pn)));
+  }
+  RttEstimator rtt;
+  rtt.update(40_ms, Duration::zero(), 25_ms);
+  LossDetection ld;
+  // largest acked = 5: packets 1 and 2 are >= 3 behind.
+  auto result = ld.detect(map, 5, rtt, Time::zero() + 10_ms);
+  ASSERT_EQ(result.lost.size(), 2u);
+  EXPECT_EQ(result.lost[0].pn, 1u);
+  EXPECT_EQ(result.lost[1].pn, 2u);
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(LossDetectionTest, TimeThresholdDeclaresLoss) {
+  SentPacketMap map;
+  map.add(sent_pkt(1, Time::zero() + 1_ms));
+  map.add(sent_pkt(2, Time::zero() + 100_ms));
+  RttEstimator rtt;
+  rtt.update(40_ms, Duration::zero(), 25_ms);
+  LossDetection ld;
+  // largest acked = 2 (pn 1 only 1 behind, below packet threshold), but
+  // pn 1 was sent 9/8*40=45 ms before now -> time threshold fires.
+  auto result = ld.detect(map, 2, rtt, Time::zero() + 50_ms);
+  ASSERT_EQ(result.lost.size(), 1u);
+  EXPECT_EQ(result.lost[0].pn, 1u);
+}
+
+TEST(LossDetectionTest, SetsNextLossTimeForYoungPackets) {
+  SentPacketMap map;
+  map.add(sent_pkt(1, Time::zero() + 30_ms));
+  RttEstimator rtt;
+  rtt.update(40_ms, Duration::zero(), 25_ms);
+  LossDetection ld;
+  auto result = ld.detect(map, 2, rtt, Time::zero() + 40_ms);
+  EXPECT_TRUE(result.lost.empty());
+  EXPECT_EQ(result.next_loss_time, Time::zero() + 75_ms);  // 30 + 45
+}
+
+TEST(LossDetectionTest, PersistentCongestionOnLongSpan) {
+  SentPacketMap map;
+  map.add(sent_pkt(1, Time::zero() + 10_ms));
+  map.add(sent_pkt(2, Time::zero() + 800_ms));
+  RttEstimator rtt;
+  rtt.update(40_ms, Duration::zero(), 25_ms);  // PTO = 145 ms, 3*PTO = 435 ms
+  LossDetection ld;
+  auto result = ld.detect(map, 6, rtt, Time::zero() + 900_ms);
+  ASSERT_EQ(result.lost.size(), 2u);
+  EXPECT_TRUE(result.persistent_congestion);
+}
+
+TEST(LossDetectionTest, PtoBacksOffExponentially) {
+  SentPacketMap map;
+  map.add(sent_pkt(1, Time::zero()));
+  RttEstimator rtt;
+  rtt.update(40_ms, Duration::zero(), 25_ms);
+  LossDetection ld;
+  const Time pto0 = ld.pto_deadline(map, rtt, 0);
+  const Time pto2 = ld.pto_deadline(map, rtt, 2);
+  EXPECT_EQ((pto2 - Time::zero()).ns(), 4 * (pto0 - Time::zero()).ns());
+}
+
+// -------------------------------------------------------------- Connection
+
+Connection::Config small_transfer(std::int64_t bytes = 50 * kPayloadPerDatagram) {
+  Connection::Config cfg;
+  cfg.total_payload_bytes = bytes;
+  cfg.cc.algorithm = cc::CcAlgorithm::kCubic;
+  return cfg;
+}
+
+std::shared_ptr<const TransportAck> ack_of(std::uint64_t first,
+                                           std::uint64_t last,
+                                           Duration delay = Duration::zero()) {
+  auto ack = std::make_shared<TransportAck>();
+  ack->blocks = {AckBlock{first, last}};
+  ack->ack_delay = delay;
+  return ack;
+}
+
+Packet ack_packet(std::uint64_t first, std::uint64_t last,
+                  Duration delay = Duration::zero()) {
+  Packet pkt;
+  pkt.kind = net::PacketKind::kQuicAck;
+  pkt.size_bytes = kAckPacketSize;
+  pkt.ack = ack_of(first, last, delay);
+  return pkt;
+}
+
+TEST(ConnectionTest, BuildsSequentialChunks) {
+  Connection conn(small_transfer());
+  auto p1 = conn.build_packet(Time::zero(), Time::zero());
+  auto p2 = conn.build_packet(Time::zero(), Time::zero());
+  EXPECT_EQ(p1.packet_number + 1, p2.packet_number);
+  EXPECT_EQ(p1.stream_offset, 0);
+  EXPECT_EQ(p2.stream_offset, kPayloadPerDatagram);
+  EXPECT_EQ(conn.bytes_in_flight(), p1.size_bytes + p2.size_bytes);
+}
+
+TEST(ConnectionTest, CongestionBlockedAtInitialWindow) {
+  Connection conn(small_transfer());
+  int sent = 0;
+  while (!conn.congestion_blocked() && sent < 100) {
+    conn.build_packet(Time::zero(), Time::zero());
+    ++sent;
+  }
+  EXPECT_EQ(sent, 10);  // RFC 9002 initial window = 10 datagrams
+}
+
+TEST(ConnectionTest, AckFreesWindowAndMeasuresRtt) {
+  Connection conn(small_transfer());
+  for (int i = 0; i < 10; ++i) conn.build_packet(Time::zero(), Time::zero());
+  conn.on_ack_packet(ack_packet(1, 10), Time::zero() + 40_ms);
+  EXPECT_EQ(conn.bytes_in_flight(), 0);
+  EXPECT_EQ(conn.rtt().latest(), 40_ms);
+  EXPECT_FALSE(conn.congestion_blocked());
+}
+
+TEST(ConnectionTest, LastChunkCarriesFin) {
+  Connection conn(small_transfer(2 * kPayloadPerDatagram));
+  auto p1 = conn.build_packet(Time::zero(), Time::zero());
+  auto p2 = conn.build_packet(Time::zero(), Time::zero());
+  EXPECT_FALSE(p1.fin);
+  EXPECT_TRUE(p2.fin);
+  EXPECT_FALSE(conn.has_data_to_send());
+}
+
+TEST(ConnectionTest, LossQueuesRetransmission) {
+  Connection conn(small_transfer());
+  for (int i = 0; i < 10; ++i) conn.build_packet(Time::zero(), Time::zero());
+  // ACK 4..10, leaving 1..3 behind by more than the packet threshold.
+  conn.on_ack_packet(ack_packet(4, 10), Time::zero() + 40_ms);
+  EXPECT_EQ(conn.stats().packets_declared_lost, 3);
+  ASSERT_TRUE(conn.has_data_to_send());
+  auto retx = conn.build_packet(Time::zero() + 41_ms, Time::zero() + 41_ms);
+  EXPECT_EQ(retx.stream_offset, 0);  // oldest lost chunk first
+  EXPECT_GT(retx.packet_number, 10u);  // new packet number, QUIC-style
+}
+
+TEST(ConnectionTest, CompletionRequiresAllBytesAcked) {
+  Connection conn(small_transfer(3 * kPayloadPerDatagram));
+  conn.build_packet(Time::zero(), Time::zero());
+  conn.build_packet(Time::zero(), Time::zero());
+  conn.build_packet(Time::zero(), Time::zero());
+  conn.on_ack_packet(ack_packet(1, 2), Time::zero() + 40_ms);
+  EXPECT_FALSE(conn.transfer_complete());
+  conn.on_ack_packet(ack_packet(3, 3), Time::zero() + 41_ms);
+  EXPECT_TRUE(conn.transfer_complete());
+  EXPECT_EQ(conn.stats().completion_time, Time::zero() + 41_ms);
+}
+
+TEST(ConnectionTest, PacingRateInfiniteBeforeFirstRttSample) {
+  Connection conn(small_transfer());
+  EXPECT_TRUE(conn.pacing_rate().is_infinite());
+  for (int i = 0; i < 10; ++i) conn.build_packet(Time::zero(), Time::zero());
+  conn.on_ack_packet(ack_packet(1, 10), Time::zero() + 40_ms);
+  EXPECT_FALSE(conn.pacing_rate().is_infinite());
+  // rate = 1.25 * cwnd / srtt; cwnd doubled to 30000 by the slow-start ack.
+  const double expected =
+      1.25 * static_cast<double>(conn.cwnd_bytes()) * 8.0 / 0.040;
+  EXPECT_NEAR(conn.pacing_rate().bps(), expected, expected * 0.01);
+}
+
+TEST(ConnectionTest, PtoFiresAndProbes) {
+  Connection conn(small_transfer());
+  conn.build_packet(Time::zero(), Time::zero());
+  const Time deadline = conn.next_timer_deadline();
+  EXPECT_FALSE(deadline.is_infinite());
+  conn.on_timer(deadline);
+  EXPECT_EQ(conn.stats().pto_fired, 1);
+  EXPECT_TRUE(conn.has_data_to_send());  // probe chunk queued
+}
+
+TEST(ConnectionTest, DuplicateAckIsIgnored) {
+  Connection conn(small_transfer());
+  for (int i = 0; i < 4; ++i) conn.build_packet(Time::zero(), Time::zero());
+  conn.on_ack_packet(ack_packet(1, 2), Time::zero() + 40_ms);
+  const auto cwnd = conn.cwnd_bytes();
+  conn.on_ack_packet(ack_packet(1, 2), Time::zero() + 45_ms);
+  EXPECT_EQ(conn.cwnd_bytes(), cwnd);
+}
+
+// ---------------------------------------------------- end-to-end transfer
+
+struct Harness {
+  EventLoop loop;
+  // Server egress -> bottleneck link -> client; client ACKs -> return link
+  // -> server. Links sized like the paper's topology (scaled RTT).
+  net::Link ack_link;
+  ReferenceServer server;
+  net::Link data_link;
+  Client client;
+
+  class ToClient final : public net::PacketSink {
+   public:
+    explicit ToClient(Harness& h) : h_(h) {}
+    void deliver(Packet pkt) override { h_.client.on_datagram(pkt); }
+    Harness& h_;
+  };
+  class ToServer final : public net::PacketSink {
+   public:
+    explicit ToServer(Harness& h) : h_(h) {}
+    void deliver(Packet pkt) override { h_.server.on_datagram(pkt); }
+    Harness& h_;
+  };
+  ToClient to_client{*this};
+  ToServer to_server{*this};
+
+  explicit Harness(std::int64_t payload_bytes, std::int64_t buffer_bytes = -1,
+                   cc::CcAlgorithm algo = cc::CcAlgorithm::kCubic)
+      : ack_link(loop, {.rate = DataRate::infinite(), .delay = 20_ms},
+                 &to_server),
+        server(loop,
+               [&] {
+                 Connection::Config cfg;
+                 cfg.total_payload_bytes = payload_bytes;
+                 cfg.cc.algorithm = algo;
+                 cfg.cc.bbr_flavor = cc::BbrFlavor::kV2Lite;
+                 return cfg;
+               }(),
+               &data_link),
+        data_link(loop,
+                  {.rate = DataRate::megabits_per_second(40),
+                   .delay = 20_ms,
+                   .buffer_bytes = buffer_bytes},
+                  &to_client),
+        client(loop, {.ack = {}, .expected_payload_bytes = payload_bytes},
+               &ack_link) {}
+};
+
+TEST(EndToEnd, LosslessTransferCompletes) {
+  const std::int64_t payload = 200 * kPayloadPerDatagram;
+  Harness h(payload);
+  h.server.start();
+  h.loop.run_until(Time::zero() + 30_s);
+  EXPECT_TRUE(h.client.complete());
+  EXPECT_TRUE(h.server.connection().transfer_complete());
+  EXPECT_EQ(h.client.stats().payload_bytes_received, payload);
+  EXPECT_EQ(h.server.connection().stats().packets_declared_lost, 0);
+}
+
+TEST(EndToEnd, LossyBottleneckStillCompletes) {
+  const std::int64_t payload = 500 * kPayloadPerDatagram;
+  // Tiny 8-packet buffer forces drops during slow start.
+  Harness h(payload, 8 * kDatagramSize);
+  h.server.start();
+  h.loop.run_until(Time::zero() + 60_s);
+  EXPECT_TRUE(h.client.complete()) << "transfer stalled";
+  EXPECT_GT(h.server.connection().stats().packets_declared_lost, 0);
+  // Every payload byte arrived exactly once in the interval set.
+  EXPECT_EQ(h.client.received().covered_bytes(), payload);
+}
+
+TEST(EndToEnd, RttEstimateMatchesPathRtt) {
+  Harness h(200 * kPayloadPerDatagram);
+  h.server.start();
+  h.loop.run_until(Time::zero() + 30_s);
+  // 40 ms propagation + serialization; smoothed RTT must sit close above.
+  EXPECT_GE(h.server.connection().rtt().min(), 40_ms);
+  EXPECT_LT(h.server.connection().rtt().min(), 43_ms);
+}
+
+TEST(EndToEnd, BbrTransferCompletes) {
+  const std::int64_t payload = 500 * kPayloadPerDatagram;
+  Harness h(payload, 40 * kDatagramSize, cc::CcAlgorithm::kBbr);
+  h.server.start();
+  h.loop.run_until(Time::zero() + 60_s);
+  EXPECT_TRUE(h.client.complete());
+  EXPECT_TRUE(h.server.connection().controller().has_own_pacing_rate());
+}
+
+TEST(EndToEnd, NewRenoTransferCompletes) {
+  const std::int64_t payload = 300 * kPayloadPerDatagram;
+  Harness h(payload, 40 * kDatagramSize, cc::CcAlgorithm::kNewReno);
+  h.server.start();
+  h.loop.run_until(Time::zero() + 60_s);
+  EXPECT_TRUE(h.client.complete());
+}
+
+}  // namespace
+}  // namespace quicsteps::quic

@@ -1,0 +1,190 @@
+// Unit tests for the discrete-event core: time arithmetic, event ordering,
+// cancellation, and deterministic randomness.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace quicsteps::sim {
+namespace {
+
+using namespace quicsteps::sim::literals;
+
+TEST(Time, DurationFactoriesAgree) {
+  EXPECT_EQ(Duration::micros(1).ns(), 1000);
+  EXPECT_EQ(Duration::millis(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::seconds_f(0.5).ns(), 500'000'000);
+  EXPECT_EQ((12_us).ns(), 12'000);
+}
+
+TEST(Time, ArithmeticRoundTrips) {
+  const Time t = Time::zero() + 5_ms;
+  EXPECT_EQ((t - Time::zero()).ms(), 5);
+  EXPECT_EQ((t + 1_ms - t).us(), 1000);
+  EXPECT_LT(Time::zero(), t);
+}
+
+TEST(Time, DurationRatio) {
+  EXPECT_DOUBLE_EQ(10_ms / 2_ms, 5.0);
+  EXPECT_DOUBLE_EQ((1_s * 0.25).to_seconds(), 0.25);
+}
+
+TEST(Time, FormattingPicksUnits) {
+  EXPECT_EQ((12_us).to_string(), "12.000us");
+  EXPECT_EQ((3_ms).to_string(), "3.000ms");
+  EXPECT_EQ(Duration::infinite().to_string(), "inf");
+}
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(Time::zero() + 3_ms, [&] { order.push_back(3); });
+  loop.schedule_at(Time::zero() + 1_ms, [&] { order.push_back(1); });
+  loop.schedule_at(Time::zero() + 2_ms, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), Time::zero() + 3_ms);
+}
+
+TEST(EventLoop, SameInstantRunsInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(Time::zero() + 1_ms, [&, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, PastSchedulesClampToNow) {
+  EventLoop loop;
+  bool ran = false;
+  loop.schedule_at(Time::zero() + 5_ms, [&] {
+    loop.schedule_at(Time::zero() + 1_ms, [&] {
+      ran = true;
+      EXPECT_EQ(loop.now(), Time::zero() + 5_ms);
+    });
+  });
+  loop.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  auto handle = loop.schedule_after(1_ms, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  loop.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.pending_count(), 0u);
+}
+
+TEST(EventLoop, CancelIsIdempotentAndSafeAfterRun) {
+  EventLoop loop;
+  auto handle = loop.schedule_after(1_ms, [] {});
+  loop.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not crash or corrupt counts
+  handle.cancel();
+  EXPECT_EQ(loop.pending_count(), 0u);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(Time::zero() + 1_ms, [&] { ++count; });
+  loop.schedule_at(Time::zero() + 10_ms, [&] { ++count; });
+  loop.run_until(Time::zero() + 5_ms);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loop.now(), Time::zero() + 5_ms);
+  EXPECT_EQ(loop.pending_count(), 1u);
+}
+
+TEST(EventLoop, SelfReschedulingEventTerminatesWithRunUntil) {
+  EventLoop loop;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    ++fires;
+    loop.schedule_after(1_ms, tick);
+  };
+  loop.schedule_after(1_ms, tick);
+  loop.run_until(Time::zero() + 10_ms);
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(EventLoop, NextEventTimeSkipsCancelled) {
+  EventLoop loop;
+  auto a = loop.schedule_after(1_ms, [] {});
+  loop.schedule_after(2_ms, [] {});
+  a.cancel();
+  EXPECT_EQ(loop.next_event_time(), Time::zero() + 2_ms);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1'000'000), b.uniform(0, 1'000'000));
+  }
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng root(7);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1 << 30) == b.uniform(0, 1 << 30)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NormalDurationRespectsFloor) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto d = rng.normal_duration(10_us, 100_us, Duration::zero());
+    EXPECT_GE(d, Duration::zero());
+  }
+}
+
+TEST(Rng, ExponentialDurationRespectsCap) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto d = rng.exponential_duration(50_us, 200_us);
+    EXPECT_GE(d, Duration::zero());
+    EXPECT_LE(d, 200_us);
+  }
+}
+
+TEST(Rng, ExponentialMeanIsRoughlyRight) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential_duration(100_us).to_micros();
+  }
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+}  // namespace
+}  // namespace quicsteps::sim

@@ -1,0 +1,182 @@
+// quicsteps_cli — run any experiment of the reproduction from the command
+// line and export its artifacts (summary/gaps/capture CSV, qlog traces).
+//
+//   quicsteps_cli --stack quiche-sf --qdisc fq --payload-mib 10 --reps 3
+//                 --csv out/run --qlog out/trace.qlog
+//
+// Flags (all optional; defaults reproduce the paper baseline):
+//   --stack     quiche | quiche-sf | picoquic | ngtcp2 | tcp | ideal
+//   --cca       cubic | newreno | bbr
+//   --qdisc     fifo | fq_codel | fq | etf | etf-lt
+//   --gso       off | on | paced          --gso-segments N
+//   --sendmmsg                            (batch sends, GSO off)
+//   --payload-mib N   --reps N   --seed N
+//   --rate-mbit N     --rtt-ms N --buffer-kb N
+//   --loss P          --reorder P          --gro-us N
+//   --csv PREFIX      (PREFIX_summary.csv, PREFIX_gaps.<rep>.csv,
+//                      PREFIX_capture.<rep>.csv, PREFIX_cwnd.<rep>.csv)
+//   --qlog PATH       (qlog JSON-SEQ per repetition: PATH.<seed>)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/quicsteps.hpp"
+#include "framework/artifacts.hpp"
+
+using namespace quicsteps;
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "quicsteps_cli: %s\n(see the header of "
+                       "tools/quicsteps_cli.cpp for flags)\n",
+               message.c_str());
+  std::exit(2);
+}
+
+framework::StackKind parse_stack(const std::string& value) {
+  if (value == "quiche") return framework::StackKind::kQuiche;
+  if (value == "quiche-sf") return framework::StackKind::kQuicheSf;
+  if (value == "picoquic") return framework::StackKind::kPicoquic;
+  if (value == "ngtcp2") return framework::StackKind::kNgtcp2;
+  if (value == "tcp") return framework::StackKind::kTcpTls;
+  if (value == "ideal") return framework::StackKind::kIdealQuic;
+  usage_error("unknown stack '" + value + "'");
+}
+
+cc::CcAlgorithm parse_cca(const std::string& value) {
+  if (value == "cubic") return cc::CcAlgorithm::kCubic;
+  if (value == "newreno") return cc::CcAlgorithm::kNewReno;
+  if (value == "bbr") return cc::CcAlgorithm::kBbr;
+  usage_error("unknown cca '" + value + "'");
+}
+
+framework::QdiscKind parse_qdisc(const std::string& value) {
+  if (value == "fifo") return framework::QdiscKind::kFifo;
+  if (value == "fq_codel") return framework::QdiscKind::kFqCodel;
+  if (value == "fq") return framework::QdiscKind::kFq;
+  if (value == "etf") return framework::QdiscKind::kEtf;
+  if (value == "etf-lt") return framework::QdiscKind::kEtfOffload;
+  usage_error("unknown qdisc '" + value + "'");
+}
+
+kernel::GsoMode parse_gso(const std::string& value) {
+  if (value == "off") return kernel::GsoMode::kOff;
+  if (value == "on") return kernel::GsoMode::kOn;
+  if (value == "paced") return kernel::GsoMode::kPaced;
+  usage_error("unknown gso mode '" + value + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  framework::ExperimentConfig config;
+  config.label = "cli";
+  std::string csv_prefix;
+
+  auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--stack") {
+      config.stack = parse_stack(next_value(i));
+      config.label = framework::to_string(config.stack);
+    } else if (flag == "--cca") {
+      config.cca = parse_cca(next_value(i));
+    } else if (flag == "--qdisc") {
+      config.topology.server_qdisc = parse_qdisc(next_value(i));
+    } else if (flag == "--gso") {
+      config.gso = parse_gso(next_value(i));
+    } else if (flag == "--gso-segments") {
+      config.gso_segments = std::stoi(next_value(i));
+    } else if (flag == "--sendmmsg") {
+      config.use_sendmmsg = true;
+    } else if (flag == "--payload-mib") {
+      config.payload_bytes = std::stoll(next_value(i)) * 1024 * 1024;
+    } else if (flag == "--reps") {
+      config.repetitions = std::stoi(next_value(i));
+    } else if (flag == "--seed") {
+      config.seed = std::stoull(next_value(i));
+    } else if (flag == "--rate-mbit") {
+      config.topology.bottleneck_rate =
+          net::DataRate::megabits_per_second(std::stoll(next_value(i)));
+    } else if (flag == "--rtt-ms") {
+      config.topology.path_delay_one_way =
+          sim::Duration::millis(std::stoll(next_value(i)) / 2);
+    } else if (flag == "--buffer-kb") {
+      config.topology.bottleneck_buffer_bytes =
+          std::stoll(next_value(i)) * 1000;
+    } else if (flag == "--loss") {
+      config.topology.path_loss_probability = std::stod(next_value(i));
+    } else if (flag == "--reorder") {
+      config.topology.path_reorder_probability = std::stod(next_value(i));
+    } else if (flag == "--gro-us") {
+      config.topology.client_gro_window =
+          sim::Duration::micros(std::stoll(next_value(i)));
+    } else if (flag == "--csv") {
+      csv_prefix = next_value(i);
+      config.keep_capture = true;
+      config.record_cwnd_trace = true;
+    } else if (flag == "--qlog") {
+      config.qlog_path = next_value(i);
+    } else if (flag == "--help" || flag == "-h") {
+      std::printf("see the header comment of tools/quicsteps_cli.cpp\n");
+      return 0;
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+
+  std::printf("quicsteps %s — %s, %s, qdisc=%s, %s%s, %lld MiB x %d\n",
+              kVersion, config.label.c_str(), cc::to_string(config.cca),
+              framework::to_string(config.topology.server_qdisc),
+              kernel::to_string(config.gso),
+              config.use_sendmmsg ? "+sendmmsg" : "",
+              static_cast<long long>(config.payload_bytes / (1024 * 1024)),
+              config.repetitions);
+
+  std::ofstream summary;
+  if (!csv_prefix.empty()) {
+    summary.open(csv_prefix + "_summary.csv");
+  }
+
+  std::vector<framework::RunResult> runs;
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    const std::uint64_t seed = config.seed + static_cast<std::uint64_t>(rep);
+    auto run = framework::Runner::run_once(config, seed);
+    std::printf(
+        "  rep %d: %s goodput=%.2f Mbit/s dropped=%lld lost=%lld "
+        "trains<=5=%.1f%% precision=%.3f ms\n",
+        rep, run.completed ? "ok" : "INCOMPLETE",
+        run.goodput.goodput.mbps(),
+        static_cast<long long>(run.dropped_packets),
+        static_cast<long long>(run.packets_declared_lost),
+        100.0 * run.trains.fraction_in_trains_up_to(5),
+        run.precision.precision_ms);
+    if (!csv_prefix.empty()) {
+      framework::write_summary_csv(summary, config.label, run, rep == 0);
+      const std::string tag = "." + std::to_string(rep) + ".csv";
+      std::ofstream gaps(csv_prefix + "_gaps" + tag);
+      framework::write_gaps_csv(gaps, run);
+      std::ofstream cwnd(csv_prefix + "_cwnd" + tag);
+      framework::write_cwnd_trace_csv(cwnd, run);
+      if (run.capture != nullptr) {
+        std::ofstream capture(csv_prefix + "_capture" + tag);
+        framework::write_capture_csv(capture, *run.capture);
+      }
+    }
+    runs.push_back(std::move(run));
+  }
+
+  auto agg = framework::aggregate(config.label, runs);
+  std::fputs(framework::render_goodput_table({agg}, "summary").c_str(),
+             stdout);
+  std::fputs(framework::render_train_figure({agg}, "packet trains").c_str(),
+             stdout);
+  return agg.completed == agg.repetitions ? 0 : 1;
+}
