@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_bucket_depth.dir/bench_abl_bucket_depth.cpp.o"
+  "CMakeFiles/bench_abl_bucket_depth.dir/bench_abl_bucket_depth.cpp.o.d"
+  "bench_abl_bucket_depth"
+  "bench_abl_bucket_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_bucket_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

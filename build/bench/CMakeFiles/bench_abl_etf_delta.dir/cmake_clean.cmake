@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_etf_delta.dir/bench_abl_etf_delta.cpp.o"
+  "CMakeFiles/bench_abl_etf_delta.dir/bench_abl_etf_delta.cpp.o.d"
+  "bench_abl_etf_delta"
+  "bench_abl_etf_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_etf_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_gso_budget.dir/bench_abl_gso_budget.cpp.o"
+  "CMakeFiles/bench_abl_gso_budget.dir/bench_abl_gso_budget.cpp.o.d"
+  "bench_abl_gso_budget"
+  "bench_abl_gso_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_gso_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl_gso_budget.
+# This may be replaced when dependencies are built.

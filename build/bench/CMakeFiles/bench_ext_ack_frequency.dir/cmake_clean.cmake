@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ack_frequency.dir/bench_ext_ack_frequency.cpp.o"
+  "CMakeFiles/bench_ext_ack_frequency.dir/bench_ext_ack_frequency.cpp.o.d"
+  "bench_ext_ack_frequency"
+  "bench_ext_ack_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ack_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_batching.dir/bench_ext_batching.cpp.o"
+  "CMakeFiles/bench_ext_batching.dir/bench_ext_batching.cpp.o.d"
+  "bench_ext_batching"
+  "bench_ext_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

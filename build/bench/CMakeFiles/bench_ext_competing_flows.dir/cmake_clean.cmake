@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_competing_flows.dir/bench_ext_competing_flows.cpp.o"
+  "CMakeFiles/bench_ext_competing_flows.dir/bench_ext_competing_flows.cpp.o.d"
+  "bench_ext_competing_flows"
+  "bench_ext_competing_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_competing_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

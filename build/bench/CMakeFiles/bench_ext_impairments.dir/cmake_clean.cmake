@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_impairments.dir/bench_ext_impairments.cpp.o"
+  "CMakeFiles/bench_ext_impairments.dir/bench_ext_impairments.cpp.o.d"
+  "bench_ext_impairments"
+  "bench_ext_impairments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_impairments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_network_sweep.dir/bench_ext_network_sweep.cpp.o"
+  "CMakeFiles/bench_ext_network_sweep.dir/bench_ext_network_sweep.cpp.o.d"
+  "bench_ext_network_sweep"
+  "bench_ext_network_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_network_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_workloads.dir/bench_ext_workloads.cpp.o"
+  "CMakeFiles/bench_ext_workloads.dir/bench_ext_workloads.cpp.o.d"
+  "bench_ext_workloads"
+  "bench_ext_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_baseline_gaps.dir/bench_fig2_baseline_gaps.cpp.o"
+  "CMakeFiles/bench_fig2_baseline_gaps.dir/bench_fig2_baseline_gaps.cpp.o.d"
+  "bench_fig2_baseline_gaps"
+  "bench_fig2_baseline_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_baseline_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

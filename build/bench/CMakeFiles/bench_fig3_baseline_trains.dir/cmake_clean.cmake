@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_baseline_trains.dir/bench_fig3_baseline_trains.cpp.o"
+  "CMakeFiles/bench_fig3_baseline_trains.dir/bench_fig3_baseline_trains.cpp.o.d"
+  "bench_fig3_baseline_trains"
+  "bench_fig3_baseline_trains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_baseline_trains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

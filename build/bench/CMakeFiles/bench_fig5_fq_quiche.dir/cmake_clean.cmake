@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fq_quiche.dir/bench_fig5_fq_quiche.cpp.o"
+  "CMakeFiles/bench_fig5_fq_quiche.dir/bench_fig5_fq_quiche.cpp.o.d"
+  "bench_fig5_fq_quiche"
+  "bench_fig5_fq_quiche.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fq_quiche.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

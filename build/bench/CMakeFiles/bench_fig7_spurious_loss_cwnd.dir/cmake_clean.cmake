@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_spurious_loss_cwnd.dir/bench_fig7_spurious_loss_cwnd.cpp.o"
+  "CMakeFiles/bench_fig7_spurious_loss_cwnd.dir/bench_fig7_spurious_loss_cwnd.cpp.o.d"
+  "bench_fig7_spurious_loss_cwnd"
+  "bench_fig7_spurious_loss_cwnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_spurious_loss_cwnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

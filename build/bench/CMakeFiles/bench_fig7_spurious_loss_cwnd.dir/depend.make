@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_spurious_loss_cwnd.
+# This may be replaced when dependencies are built.

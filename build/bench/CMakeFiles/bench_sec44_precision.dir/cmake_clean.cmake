@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec44_precision.dir/bench_sec44_precision.cpp.o"
+  "CMakeFiles/bench_sec44_precision.dir/bench_sec44_precision.cpp.o.d"
+  "bench_sec44_precision"
+  "bench_sec44_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec44_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_baseline_goodput.dir/bench_tab1_baseline_goodput.cpp.o"
+  "CMakeFiles/bench_tab1_baseline_goodput.dir/bench_tab1_baseline_goodput.cpp.o.d"
+  "bench_tab1_baseline_goodput"
+  "bench_tab1_baseline_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_baseline_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab1_baseline_goodput.
+# This may be replaced when dependencies are built.

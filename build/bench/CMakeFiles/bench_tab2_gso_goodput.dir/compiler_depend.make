@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab2_gso_goodput.
+# This may be replaced when dependencies are built.

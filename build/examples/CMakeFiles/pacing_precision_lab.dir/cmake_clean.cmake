@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacing_precision_lab.dir/pacing_precision_lab.cpp.o"
+  "CMakeFiles/pacing_precision_lab.dir/pacing_precision_lab.cpp.o.d"
+  "pacing_precision_lab"
+  "pacing_precision_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacing_precision_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

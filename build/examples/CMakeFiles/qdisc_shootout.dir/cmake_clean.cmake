@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdisc_shootout.dir/qdisc_shootout.cpp.o"
+  "CMakeFiles/qdisc_shootout.dir/qdisc_shootout.cpp.o.d"
+  "qdisc_shootout"
+  "qdisc_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdisc_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

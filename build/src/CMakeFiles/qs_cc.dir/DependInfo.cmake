@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/bbr.cpp" "src/CMakeFiles/qs_cc.dir/cc/bbr.cpp.o" "gcc" "src/CMakeFiles/qs_cc.dir/cc/bbr.cpp.o.d"
+  "/root/repo/src/cc/cc_factory.cpp" "src/CMakeFiles/qs_cc.dir/cc/cc_factory.cpp.o" "gcc" "src/CMakeFiles/qs_cc.dir/cc/cc_factory.cpp.o.d"
+  "/root/repo/src/cc/congestion_controller.cpp" "src/CMakeFiles/qs_cc.dir/cc/congestion_controller.cpp.o" "gcc" "src/CMakeFiles/qs_cc.dir/cc/congestion_controller.cpp.o.d"
+  "/root/repo/src/cc/cubic.cpp" "src/CMakeFiles/qs_cc.dir/cc/cubic.cpp.o" "gcc" "src/CMakeFiles/qs_cc.dir/cc/cubic.cpp.o.d"
+  "/root/repo/src/cc/hystart_pp.cpp" "src/CMakeFiles/qs_cc.dir/cc/hystart_pp.cpp.o" "gcc" "src/CMakeFiles/qs_cc.dir/cc/hystart_pp.cpp.o.d"
+  "/root/repo/src/cc/new_reno.cpp" "src/CMakeFiles/qs_cc.dir/cc/new_reno.cpp.o" "gcc" "src/CMakeFiles/qs_cc.dir/cc/new_reno.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

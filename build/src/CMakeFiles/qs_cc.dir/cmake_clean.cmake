@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_cc.dir/cc/bbr.cpp.o"
+  "CMakeFiles/qs_cc.dir/cc/bbr.cpp.o.d"
+  "CMakeFiles/qs_cc.dir/cc/cc_factory.cpp.o"
+  "CMakeFiles/qs_cc.dir/cc/cc_factory.cpp.o.d"
+  "CMakeFiles/qs_cc.dir/cc/congestion_controller.cpp.o"
+  "CMakeFiles/qs_cc.dir/cc/congestion_controller.cpp.o.d"
+  "CMakeFiles/qs_cc.dir/cc/cubic.cpp.o"
+  "CMakeFiles/qs_cc.dir/cc/cubic.cpp.o.d"
+  "CMakeFiles/qs_cc.dir/cc/hystart_pp.cpp.o"
+  "CMakeFiles/qs_cc.dir/cc/hystart_pp.cpp.o.d"
+  "CMakeFiles/qs_cc.dir/cc/new_reno.cpp.o"
+  "CMakeFiles/qs_cc.dir/cc/new_reno.cpp.o.d"
+  "libqs_cc.a"
+  "libqs_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqs_cc.a"
+)

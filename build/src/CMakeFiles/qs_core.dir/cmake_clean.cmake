@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_core.dir/core/quicsteps.cpp.o"
+  "CMakeFiles/qs_core.dir/core/quicsteps.cpp.o.d"
+  "libqs_core.a"
+  "libqs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/framework/aggregate.cpp" "src/CMakeFiles/qs_framework.dir/framework/aggregate.cpp.o" "gcc" "src/CMakeFiles/qs_framework.dir/framework/aggregate.cpp.o.d"
+  "/root/repo/src/framework/artifacts.cpp" "src/CMakeFiles/qs_framework.dir/framework/artifacts.cpp.o" "gcc" "src/CMakeFiles/qs_framework.dir/framework/artifacts.cpp.o.d"
+  "/root/repo/src/framework/duel.cpp" "src/CMakeFiles/qs_framework.dir/framework/duel.cpp.o" "gcc" "src/CMakeFiles/qs_framework.dir/framework/duel.cpp.o.d"
+  "/root/repo/src/framework/experiment.cpp" "src/CMakeFiles/qs_framework.dir/framework/experiment.cpp.o" "gcc" "src/CMakeFiles/qs_framework.dir/framework/experiment.cpp.o.d"
+  "/root/repo/src/framework/report.cpp" "src/CMakeFiles/qs_framework.dir/framework/report.cpp.o" "gcc" "src/CMakeFiles/qs_framework.dir/framework/report.cpp.o.d"
+  "/root/repo/src/framework/runner.cpp" "src/CMakeFiles/qs_framework.dir/framework/runner.cpp.o" "gcc" "src/CMakeFiles/qs_framework.dir/framework/runner.cpp.o.d"
+  "/root/repo/src/framework/topology.cpp" "src/CMakeFiles/qs_framework.dir/framework/topology.cpp.o" "gcc" "src/CMakeFiles/qs_framework.dir/framework/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qs_stacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_pacing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_framework.dir/framework/aggregate.cpp.o"
+  "CMakeFiles/qs_framework.dir/framework/aggregate.cpp.o.d"
+  "CMakeFiles/qs_framework.dir/framework/artifacts.cpp.o"
+  "CMakeFiles/qs_framework.dir/framework/artifacts.cpp.o.d"
+  "CMakeFiles/qs_framework.dir/framework/duel.cpp.o"
+  "CMakeFiles/qs_framework.dir/framework/duel.cpp.o.d"
+  "CMakeFiles/qs_framework.dir/framework/experiment.cpp.o"
+  "CMakeFiles/qs_framework.dir/framework/experiment.cpp.o.d"
+  "CMakeFiles/qs_framework.dir/framework/report.cpp.o"
+  "CMakeFiles/qs_framework.dir/framework/report.cpp.o.d"
+  "CMakeFiles/qs_framework.dir/framework/runner.cpp.o"
+  "CMakeFiles/qs_framework.dir/framework/runner.cpp.o.d"
+  "CMakeFiles/qs_framework.dir/framework/topology.cpp.o"
+  "CMakeFiles/qs_framework.dir/framework/topology.cpp.o.d"
+  "libqs_framework.a"
+  "libqs_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

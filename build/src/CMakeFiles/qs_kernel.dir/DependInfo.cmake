@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/gso.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/gso.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/gso.cpp.o.d"
+  "/root/repo/src/kernel/nic.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/nic.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/nic.cpp.o.d"
+  "/root/repo/src/kernel/os_model.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/os_model.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/os_model.cpp.o.d"
+  "/root/repo/src/kernel/qdisc.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc.cpp.o.d"
+  "/root/repo/src/kernel/qdisc_etf.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_etf.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_etf.cpp.o.d"
+  "/root/repo/src/kernel/qdisc_fifo.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_fifo.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_fifo.cpp.o.d"
+  "/root/repo/src/kernel/qdisc_fq.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_fq.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_fq.cpp.o.d"
+  "/root/repo/src/kernel/qdisc_fq_codel.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_fq_codel.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_fq_codel.cpp.o.d"
+  "/root/repo/src/kernel/qdisc_netem.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_netem.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_netem.cpp.o.d"
+  "/root/repo/src/kernel/qdisc_tbf.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_tbf.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/qdisc_tbf.cpp.o.d"
+  "/root/repo/src/kernel/timer_service.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/timer_service.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/timer_service.cpp.o.d"
+  "/root/repo/src/kernel/udp_socket.cpp" "src/CMakeFiles/qs_kernel.dir/kernel/udp_socket.cpp.o" "gcc" "src/CMakeFiles/qs_kernel.dir/kernel/udp_socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_kernel.dir/kernel/gso.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/gso.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/nic.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/nic.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/os_model.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/os_model.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_etf.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_etf.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_fifo.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_fifo.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_fq.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_fq.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_fq_codel.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_fq_codel.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_netem.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_netem.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_tbf.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/qdisc_tbf.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/timer_service.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/timer_service.cpp.o.d"
+  "CMakeFiles/qs_kernel.dir/kernel/udp_socket.cpp.o"
+  "CMakeFiles/qs_kernel.dir/kernel/udp_socket.cpp.o.d"
+  "libqs_kernel.a"
+  "libqs_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

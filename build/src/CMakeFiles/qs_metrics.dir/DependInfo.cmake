@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/gap_analyzer.cpp" "src/CMakeFiles/qs_metrics.dir/metrics/gap_analyzer.cpp.o" "gcc" "src/CMakeFiles/qs_metrics.dir/metrics/gap_analyzer.cpp.o.d"
+  "/root/repo/src/metrics/goodput.cpp" "src/CMakeFiles/qs_metrics.dir/metrics/goodput.cpp.o" "gcc" "src/CMakeFiles/qs_metrics.dir/metrics/goodput.cpp.o.d"
+  "/root/repo/src/metrics/precision.cpp" "src/CMakeFiles/qs_metrics.dir/metrics/precision.cpp.o" "gcc" "src/CMakeFiles/qs_metrics.dir/metrics/precision.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/CMakeFiles/qs_metrics.dir/metrics/stats.cpp.o" "gcc" "src/CMakeFiles/qs_metrics.dir/metrics/stats.cpp.o.d"
+  "/root/repo/src/metrics/train_analyzer.cpp" "src/CMakeFiles/qs_metrics.dir/metrics/train_analyzer.cpp.o" "gcc" "src/CMakeFiles/qs_metrics.dir/metrics/train_analyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

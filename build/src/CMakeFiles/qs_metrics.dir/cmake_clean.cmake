@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_metrics.dir/metrics/gap_analyzer.cpp.o"
+  "CMakeFiles/qs_metrics.dir/metrics/gap_analyzer.cpp.o.d"
+  "CMakeFiles/qs_metrics.dir/metrics/goodput.cpp.o"
+  "CMakeFiles/qs_metrics.dir/metrics/goodput.cpp.o.d"
+  "CMakeFiles/qs_metrics.dir/metrics/precision.cpp.o"
+  "CMakeFiles/qs_metrics.dir/metrics/precision.cpp.o.d"
+  "CMakeFiles/qs_metrics.dir/metrics/stats.cpp.o"
+  "CMakeFiles/qs_metrics.dir/metrics/stats.cpp.o.d"
+  "CMakeFiles/qs_metrics.dir/metrics/train_analyzer.cpp.o"
+  "CMakeFiles/qs_metrics.dir/metrics/train_analyzer.cpp.o.d"
+  "libqs_metrics.a"
+  "libqs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

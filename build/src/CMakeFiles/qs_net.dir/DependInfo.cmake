@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/counters.cpp" "src/CMakeFiles/qs_net.dir/net/counters.cpp.o" "gcc" "src/CMakeFiles/qs_net.dir/net/counters.cpp.o.d"
+  "/root/repo/src/net/data_rate.cpp" "src/CMakeFiles/qs_net.dir/net/data_rate.cpp.o" "gcc" "src/CMakeFiles/qs_net.dir/net/data_rate.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/qs_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/qs_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/qs_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/qs_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/wire_tap.cpp" "src/CMakeFiles/qs_net.dir/net/wire_tap.cpp.o" "gcc" "src/CMakeFiles/qs_net.dir/net/wire_tap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

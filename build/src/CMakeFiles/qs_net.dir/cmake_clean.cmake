@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_net.dir/net/counters.cpp.o"
+  "CMakeFiles/qs_net.dir/net/counters.cpp.o.d"
+  "CMakeFiles/qs_net.dir/net/data_rate.cpp.o"
+  "CMakeFiles/qs_net.dir/net/data_rate.cpp.o.d"
+  "CMakeFiles/qs_net.dir/net/link.cpp.o"
+  "CMakeFiles/qs_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/qs_net.dir/net/packet.cpp.o"
+  "CMakeFiles/qs_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/qs_net.dir/net/wire_tap.cpp.o"
+  "CMakeFiles/qs_net.dir/net/wire_tap.cpp.o.d"
+  "libqs_net.a"
+  "libqs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pacing/interval_pacer.cpp" "src/CMakeFiles/qs_pacing.dir/pacing/interval_pacer.cpp.o" "gcc" "src/CMakeFiles/qs_pacing.dir/pacing/interval_pacer.cpp.o.d"
+  "/root/repo/src/pacing/leaky_bucket_pacer.cpp" "src/CMakeFiles/qs_pacing.dir/pacing/leaky_bucket_pacer.cpp.o" "gcc" "src/CMakeFiles/qs_pacing.dir/pacing/leaky_bucket_pacer.cpp.o.d"
+  "/root/repo/src/pacing/pacer.cpp" "src/CMakeFiles/qs_pacing.dir/pacing/pacer.cpp.o" "gcc" "src/CMakeFiles/qs_pacing.dir/pacing/pacer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

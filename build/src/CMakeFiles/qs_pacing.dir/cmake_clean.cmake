@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_pacing.dir/pacing/interval_pacer.cpp.o"
+  "CMakeFiles/qs_pacing.dir/pacing/interval_pacer.cpp.o.d"
+  "CMakeFiles/qs_pacing.dir/pacing/leaky_bucket_pacer.cpp.o"
+  "CMakeFiles/qs_pacing.dir/pacing/leaky_bucket_pacer.cpp.o.d"
+  "CMakeFiles/qs_pacing.dir/pacing/pacer.cpp.o"
+  "CMakeFiles/qs_pacing.dir/pacing/pacer.cpp.o.d"
+  "libqs_pacing.a"
+  "libqs_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

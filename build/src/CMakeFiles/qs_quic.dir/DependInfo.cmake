@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quic/ack_manager.cpp" "src/CMakeFiles/qs_quic.dir/quic/ack_manager.cpp.o" "gcc" "src/CMakeFiles/qs_quic.dir/quic/ack_manager.cpp.o.d"
+  "/root/repo/src/quic/app_source.cpp" "src/CMakeFiles/qs_quic.dir/quic/app_source.cpp.o" "gcc" "src/CMakeFiles/qs_quic.dir/quic/app_source.cpp.o.d"
+  "/root/repo/src/quic/client.cpp" "src/CMakeFiles/qs_quic.dir/quic/client.cpp.o" "gcc" "src/CMakeFiles/qs_quic.dir/quic/client.cpp.o.d"
+  "/root/repo/src/quic/connection.cpp" "src/CMakeFiles/qs_quic.dir/quic/connection.cpp.o" "gcc" "src/CMakeFiles/qs_quic.dir/quic/connection.cpp.o.d"
+  "/root/repo/src/quic/frames.cpp" "src/CMakeFiles/qs_quic.dir/quic/frames.cpp.o" "gcc" "src/CMakeFiles/qs_quic.dir/quic/frames.cpp.o.d"
+  "/root/repo/src/quic/loss_detection.cpp" "src/CMakeFiles/qs_quic.dir/quic/loss_detection.cpp.o" "gcc" "src/CMakeFiles/qs_quic.dir/quic/loss_detection.cpp.o.d"
+  "/root/repo/src/quic/qlog.cpp" "src/CMakeFiles/qs_quic.dir/quic/qlog.cpp.o" "gcc" "src/CMakeFiles/qs_quic.dir/quic/qlog.cpp.o.d"
+  "/root/repo/src/quic/rtt_estimator.cpp" "src/CMakeFiles/qs_quic.dir/quic/rtt_estimator.cpp.o" "gcc" "src/CMakeFiles/qs_quic.dir/quic/rtt_estimator.cpp.o.d"
+  "/root/repo/src/quic/sent_packet_map.cpp" "src/CMakeFiles/qs_quic.dir/quic/sent_packet_map.cpp.o" "gcc" "src/CMakeFiles/qs_quic.dir/quic/sent_packet_map.cpp.o.d"
+  "/root/repo/src/quic/server.cpp" "src/CMakeFiles/qs_quic.dir/quic/server.cpp.o" "gcc" "src/CMakeFiles/qs_quic.dir/quic/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_pacing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

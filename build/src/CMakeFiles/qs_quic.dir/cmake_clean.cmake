@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_quic.dir/quic/ack_manager.cpp.o"
+  "CMakeFiles/qs_quic.dir/quic/ack_manager.cpp.o.d"
+  "CMakeFiles/qs_quic.dir/quic/app_source.cpp.o"
+  "CMakeFiles/qs_quic.dir/quic/app_source.cpp.o.d"
+  "CMakeFiles/qs_quic.dir/quic/client.cpp.o"
+  "CMakeFiles/qs_quic.dir/quic/client.cpp.o.d"
+  "CMakeFiles/qs_quic.dir/quic/connection.cpp.o"
+  "CMakeFiles/qs_quic.dir/quic/connection.cpp.o.d"
+  "CMakeFiles/qs_quic.dir/quic/frames.cpp.o"
+  "CMakeFiles/qs_quic.dir/quic/frames.cpp.o.d"
+  "CMakeFiles/qs_quic.dir/quic/loss_detection.cpp.o"
+  "CMakeFiles/qs_quic.dir/quic/loss_detection.cpp.o.d"
+  "CMakeFiles/qs_quic.dir/quic/qlog.cpp.o"
+  "CMakeFiles/qs_quic.dir/quic/qlog.cpp.o.d"
+  "CMakeFiles/qs_quic.dir/quic/rtt_estimator.cpp.o"
+  "CMakeFiles/qs_quic.dir/quic/rtt_estimator.cpp.o.d"
+  "CMakeFiles/qs_quic.dir/quic/sent_packet_map.cpp.o"
+  "CMakeFiles/qs_quic.dir/quic/sent_packet_map.cpp.o.d"
+  "CMakeFiles/qs_quic.dir/quic/server.cpp.o"
+  "CMakeFiles/qs_quic.dir/quic/server.cpp.o.d"
+  "libqs_quic.a"
+  "libqs_quic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qs_quic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_loop.cpp" "src/CMakeFiles/qs_sim.dir/sim/event_loop.cpp.o" "gcc" "src/CMakeFiles/qs_sim.dir/sim/event_loop.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/qs_sim.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/qs_sim.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/qs_sim.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/qs_sim.dir/sim/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

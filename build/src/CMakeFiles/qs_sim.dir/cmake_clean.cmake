@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_sim.dir/sim/event_loop.cpp.o"
+  "CMakeFiles/qs_sim.dir/sim/event_loop.cpp.o.d"
+  "CMakeFiles/qs_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/qs_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/qs_sim.dir/sim/time.cpp.o"
+  "CMakeFiles/qs_sim.dir/sim/time.cpp.o.d"
+  "libqs_sim.a"
+  "libqs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stacks/event_loop_model.cpp" "src/CMakeFiles/qs_stacks.dir/stacks/event_loop_model.cpp.o" "gcc" "src/CMakeFiles/qs_stacks.dir/stacks/event_loop_model.cpp.o.d"
+  "/root/repo/src/stacks/ngtcp2_model.cpp" "src/CMakeFiles/qs_stacks.dir/stacks/ngtcp2_model.cpp.o" "gcc" "src/CMakeFiles/qs_stacks.dir/stacks/ngtcp2_model.cpp.o.d"
+  "/root/repo/src/stacks/picoquic_model.cpp" "src/CMakeFiles/qs_stacks.dir/stacks/picoquic_model.cpp.o" "gcc" "src/CMakeFiles/qs_stacks.dir/stacks/picoquic_model.cpp.o.d"
+  "/root/repo/src/stacks/quiche_model.cpp" "src/CMakeFiles/qs_stacks.dir/stacks/quiche_model.cpp.o" "gcc" "src/CMakeFiles/qs_stacks.dir/stacks/quiche_model.cpp.o.d"
+  "/root/repo/src/stacks/stack_profile.cpp" "src/CMakeFiles/qs_stacks.dir/stacks/stack_profile.cpp.o" "gcc" "src/CMakeFiles/qs_stacks.dir/stacks/stack_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qs_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_pacing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

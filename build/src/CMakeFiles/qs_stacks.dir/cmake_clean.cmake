@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_stacks.dir/stacks/event_loop_model.cpp.o"
+  "CMakeFiles/qs_stacks.dir/stacks/event_loop_model.cpp.o.d"
+  "CMakeFiles/qs_stacks.dir/stacks/ngtcp2_model.cpp.o"
+  "CMakeFiles/qs_stacks.dir/stacks/ngtcp2_model.cpp.o.d"
+  "CMakeFiles/qs_stacks.dir/stacks/picoquic_model.cpp.o"
+  "CMakeFiles/qs_stacks.dir/stacks/picoquic_model.cpp.o.d"
+  "CMakeFiles/qs_stacks.dir/stacks/quiche_model.cpp.o"
+  "CMakeFiles/qs_stacks.dir/stacks/quiche_model.cpp.o.d"
+  "CMakeFiles/qs_stacks.dir/stacks/stack_profile.cpp.o"
+  "CMakeFiles/qs_stacks.dir/stacks/stack_profile.cpp.o.d"
+  "libqs_stacks.a"
+  "libqs_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/tcp_client.cpp" "src/CMakeFiles/qs_tcp.dir/tcp/tcp_client.cpp.o" "gcc" "src/CMakeFiles/qs_tcp.dir/tcp/tcp_client.cpp.o.d"
+  "/root/repo/src/tcp/tcp_connection.cpp" "src/CMakeFiles/qs_tcp.dir/tcp/tcp_connection.cpp.o" "gcc" "src/CMakeFiles/qs_tcp.dir/tcp/tcp_connection.cpp.o.d"
+  "/root/repo/src/tcp/tcp_server.cpp" "src/CMakeFiles/qs_tcp.dir/tcp/tcp_server.cpp.o" "gcc" "src/CMakeFiles/qs_tcp.dir/tcp/tcp_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qs_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_pacing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

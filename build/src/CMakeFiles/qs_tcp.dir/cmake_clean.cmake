@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_tcp.dir/tcp/tcp_client.cpp.o"
+  "CMakeFiles/qs_tcp.dir/tcp/tcp_client.cpp.o.d"
+  "CMakeFiles/qs_tcp.dir/tcp/tcp_connection.cpp.o"
+  "CMakeFiles/qs_tcp.dir/tcp/tcp_connection.cpp.o.d"
+  "CMakeFiles/qs_tcp.dir/tcp/tcp_server.cpp.o"
+  "CMakeFiles/qs_tcp.dir/tcp/tcp_server.cpp.o.d"
+  "libqs_tcp.a"
+  "libqs_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

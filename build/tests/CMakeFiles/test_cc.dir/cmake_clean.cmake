@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cc.dir/cc_test.cpp.o"
+  "CMakeFiles/test_cc.dir/cc_test.cpp.o.d"
+  "test_cc"
+  "test_cc.pdb"
+  "test_cc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_framework.dir/framework_test.cpp.o"
+  "CMakeFiles/test_framework.dir/framework_test.cpp.o.d"
+  "test_framework"
+  "test_framework.pdb"
+  "test_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

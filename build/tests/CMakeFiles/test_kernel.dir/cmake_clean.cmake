@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel.dir/kernel_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel_test.cpp.o.d"
+  "test_kernel"
+  "test_kernel.pdb"
+  "test_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

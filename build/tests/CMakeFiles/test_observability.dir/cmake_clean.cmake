@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observability.dir/observability_test.cpp.o"
+  "CMakeFiles/test_observability.dir/observability_test.cpp.o.d"
+  "test_observability"
+  "test_observability.pdb"
+  "test_observability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pacing.dir/pacing_test.cpp.o"
+  "CMakeFiles/test_pacing.dir/pacing_test.cpp.o.d"
+  "test_pacing"
+  "test_pacing.pdb"
+  "test_pacing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qdisc.dir/qdisc_test.cpp.o"
+  "CMakeFiles/test_qdisc.dir/qdisc_test.cpp.o.d"
+  "test_qdisc"
+  "test_qdisc.pdb"
+  "test_qdisc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qdisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic.dir/quic_test.cpp.o"
+  "CMakeFiles/test_quic.dir/quic_test.cpp.o.d"
+  "test_quic"
+  "test_quic.pdb"
+  "test_quic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stacks.dir/stacks_test.cpp.o"
+  "CMakeFiles/test_stacks.dir/stacks_test.cpp.o.d"
+  "test_stacks"
+  "test_stacks.pdb"
+  "test_stacks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

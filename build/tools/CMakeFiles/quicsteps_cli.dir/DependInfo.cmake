@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/quicsteps_cli.cpp" "tools/CMakeFiles/quicsteps_cli.dir/quicsteps_cli.cpp.o" "gcc" "tools/CMakeFiles/quicsteps_cli.dir/quicsteps_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_stacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_quic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_pacing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

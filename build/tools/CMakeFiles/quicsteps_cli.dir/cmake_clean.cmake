@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicsteps_cli.dir/quicsteps_cli.cpp.o"
+  "CMakeFiles/quicsteps_cli.dir/quicsteps_cli.cpp.o.d"
+  "quicsteps_cli"
+  "quicsteps_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicsteps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
