@@ -25,8 +25,26 @@ inline framework::ExperimentConfig base_config(const std::string& label) {
 }
 
 inline framework::Aggregate run(const framework::ExperimentConfig& config) {
+  // Runner::run_all fans repetitions across the worker pool
+  // (QUICSTEPS_JOBS / --jobs / hardware concurrency).
   return framework::aggregate(config.label,
                               framework::Runner::run_all(config));
+}
+
+/// Fans a whole configuration grid out across the worker pool — every
+/// (config, repetition) pair is one task, so sweeps scale past the
+/// per-config repetition count. Aggregates arrive in config order and are
+/// bit-identical to running each config serially.
+inline std::vector<framework::Aggregate> run_grid(
+    const std::vector<framework::ExperimentConfig>& configs) {
+  auto grid = framework::ParallelRunner().run_grid(configs);
+  std::vector<framework::Aggregate> aggregates;
+  aggregates.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    aggregates.push_back(
+        framework::aggregate(configs[i].label, grid[i]));
+  }
+  return aggregates;
 }
 
 inline void print_header(const char* id, const char* what) {

@@ -63,16 +63,24 @@ int main() {
                  framework::QdiscKind::kFqCodel, payload)},
   };
 
-  std::printf("%-30s %10s %10s %10s %10s\n", "matchup", "A [Mb]", "B [Mb]",
-              "fairness", "drops");
-  std::printf("%s\n", std::string(76, '-').c_str());
+  // Duels are independent simulations; fan the matchup list out across the
+  // worker pool and print in input order.
+  std::vector<framework::DuelConfig> duels;
   for (const auto& matchup : matchups) {
     framework::DuelConfig duel;
     duel.a = matchup.a;
     duel.b = matchup.b;
     duel.seed = 7;
-    auto result = framework::run_duel(duel);
-    std::printf("%-30s %10.2f %10.2f %10.3f %10lld\n", matchup.label,
+    duels.push_back(duel);
+  }
+  const auto results = framework::ParallelRunner().run_duels(duels);
+
+  std::printf("%-30s %10s %10s %10s %10s\n", "matchup", "A [Mb]", "B [Mb]",
+              "fairness", "drops");
+  std::printf("%s\n", std::string(76, '-').c_str());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    std::printf("%-30s %10.2f %10.2f %10.3f %10lld\n", matchups[i].label,
                 result.a.goodput.goodput.mbps(),
                 result.b.goodput.goodput.mbps(), result.fairness,
                 static_cast<long long>(result.bottleneck_drops));

@@ -24,9 +24,9 @@ int main() {
       framework::StackKind::kQuicheSf, framework::StackKind::kPicoquic,
       framework::StackKind::kNgtcp2, framework::StackKind::kTcpTls};
 
-  std::printf("%-18s %-12s %10s %14s %10s\n", "network", "stack", "goodput",
-              "pkts in <=5", "drops");
-  std::printf("%s\n", std::string(70, '-').c_str());
+  // Build the whole (network x stack) grid up front so every run fans out
+  // across the worker pool at once, then print in grid order.
+  std::vector<framework::ExperimentConfig> grid;
   for (const auto& point : points) {
     for (auto stack : stacks) {
       auto config = base_config(framework::to_string(stack));
@@ -40,7 +40,18 @@ int main() {
       config.topology.bottleneck_buffer_bytes =
           net::DataRate::megabits_per_second(point.mbps)
               .bytes_in(sim::Duration::millis(point.rtt_ms));
-      auto agg = run(config);
+      grid.push_back(config);
+    }
+  }
+  const auto aggregates = run_grid(grid);
+
+  std::printf("%-18s %-12s %10s %14s %10s\n", "network", "stack", "goodput",
+              "pkts in <=5", "drops");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  std::size_t row = 0;
+  for (const auto& point : points) {
+    for ([[maybe_unused]] auto stack : stacks) {
+      const auto& agg = aggregates[row++];
       std::printf("%-18s %-12s %7.2f Mb %13.1f%% %10.1f\n", point.label,
                   agg.label.c_str(), agg.goodput_mbps.mean,
                   100.0 * agg.fraction_in_trains_up_to(5),

@@ -15,15 +15,25 @@ int main() {
                                   cc::CcAlgorithm::kNewReno,
                                   cc::CcAlgorithm::kBbr};
 
+  // The full (stack x CCA) grid fans out across the worker pool at once.
+  std::vector<framework::ExperimentConfig> grid;
   for (auto stack : stacks) {
-    std::vector<framework::Aggregate> rows;
     for (auto cca : ccas) {
       std::string label = std::string(framework::to_string(stack)) + "+" +
                           cc::to_string(cca);
       auto config = base_config(label);
       config.stack = stack;
       config.cca = cca;
-      rows.push_back(run(config));
+      grid.push_back(config);
+    }
+  }
+  const auto aggregates = run_grid(grid);
+
+  std::size_t row = 0;
+  for (auto stack : stacks) {
+    std::vector<framework::Aggregate> rows;
+    for ([[maybe_unused]] auto cca : ccas) {
+      rows.push_back(aggregates[row++]);
     }
     std::string title =
         std::string(framework::to_string(stack)) + ": gaps across CCAs";

@@ -3,10 +3,14 @@
 // analyzers. These bound how large an experiment the framework can run.
 #include <benchmark/benchmark.h>
 
+#include "framework/parallel.hpp"
+#include "framework/runner.hpp"
 #include "kernel/os_model.hpp"
 #include "kernel/qdisc_fq.hpp"
 #include "kernel/qdisc_tbf.hpp"
+#include "metrics/capture_analysis.hpp"
 #include "metrics/gap_analyzer.hpp"
+#include "metrics/precision.hpp"
 #include "metrics/train_analyzer.hpp"
 #include "pacing/interval_pacer.hpp"
 #include "pacing/leaky_bucket_pacer.hpp"
@@ -153,6 +157,99 @@ void BM_TrainAnalysis(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_TrainAnalysis)->Arg(100000);
+
+void BM_CaptureAnalysisFourPass(benchmark::State& state) {
+  // What Runner::run_once used to do: four separate walks over the capture
+  // (gaps, trains, precision, data-packet count). Comparison baseline for
+  // the single-pass facade below.
+  auto capture = synthetic_capture(static_cast<int>(state.range(0)));
+  metrics::GapAnalyzer gaps;
+  metrics::TrainAnalyzer trains;
+  metrics::PrecisionAnalyzer precision;
+  for (auto _ : state) {
+    auto gap_report = gaps.analyze(capture);
+    auto train_report = trains.analyze(capture);
+    auto precision_report = precision.analyze(capture);
+    std::int64_t data_packets = 0;
+    for (const auto& pkt : capture) {
+      if (pkt.flow == 1 && (pkt.kind == net::PacketKind::kQuicData ||
+                            pkt.kind == net::PacketKind::kTcpData)) {
+        ++data_packets;
+      }
+    }
+    benchmark::DoNotOptimize(gap_report.back_to_back_fraction);
+    benchmark::DoNotOptimize(train_report.total_packets);
+    benchmark::DoNotOptimize(precision_report.precision_ms);
+    benchmark::DoNotOptimize(data_packets);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CaptureAnalysisFourPass)->Arg(100000);
+
+void BM_CaptureAnalysisSinglePass(benchmark::State& state) {
+  // The CaptureAnalyzer facade: all four per-run reports from one walk.
+  auto capture = synthetic_capture(static_cast<int>(state.range(0)));
+  metrics::CaptureAnalyzer analyzer;
+  for (auto _ : state) {
+    auto analysis = analyzer.analyze(capture);
+    benchmark::DoNotOptimize(analysis.gaps.back_to_back_fraction);
+    benchmark::DoNotOptimize(analysis.trains.total_packets);
+    benchmark::DoNotOptimize(analysis.precision.precision_ms);
+    benchmark::DoNotOptimize(analysis.wire_data_packets);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CaptureAnalysisSinglePass)->Arg(100000);
+
+std::vector<framework::ExperimentConfig> bench_grid() {
+  std::vector<framework::ExperimentConfig> grid;
+  for (auto stack :
+       {framework::StackKind::kQuicheSf, framework::StackKind::kPicoquic}) {
+    framework::ExperimentConfig config;
+    config.label = framework::to_string(stack);
+    config.stack = stack;
+    config.payload_bytes = 1ll * 1024 * 1024;
+    config.repetitions = 2;
+    config.seed = 1;
+    grid.push_back(config);
+  }
+  return grid;
+}
+
+void BM_ExperimentGridSerial(benchmark::State& state) {
+  // Reference: run the same small grid one (config, seed) at a time.
+  const auto grid = bench_grid();
+  for (auto _ : state) {
+    std::int64_t packets = 0;
+    for (const auto& config : grid) {
+      for (int rep = 0; rep < config.repetitions; ++rep) {
+        auto run = framework::Runner::run_once(
+            config, config.seed + static_cast<std::uint64_t>(rep));
+        packets += run.packets_sent;
+      }
+    }
+    benchmark::DoNotOptimize(packets);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);  // 2 configs x 2 reps
+}
+BENCHMARK(BM_ExperimentGridSerial)->Unit(benchmark::kMillisecond);
+
+void BM_ExperimentGridParallel(benchmark::State& state) {
+  // Same grid through the worker pool. On a multi-core host the wall-clock
+  // win approaches the job count; results are bit-identical either way.
+  const auto grid = bench_grid();
+  framework::ParallelRunner pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::int64_t packets = 0;
+    for (const auto& runs : pool.run_grid(grid)) {
+      for (const auto& run : runs) packets += run.packets_sent;
+    }
+    benchmark::DoNotOptimize(packets);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ExperimentGridParallel)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

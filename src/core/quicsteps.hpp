@@ -28,6 +28,7 @@
 #include "framework/artifacts.hpp"
 #include "framework/duel.hpp"
 #include "framework/experiment.hpp"
+#include "framework/parallel.hpp"
 #include "framework/report.hpp"
 #include "framework/runner.hpp"
 #include "framework/topology.hpp"
@@ -41,6 +42,7 @@
 #include "kernel/qdisc_netem.hpp"
 #include "kernel/qdisc_tbf.hpp"
 #include "kernel/udp_socket.hpp"
+#include "metrics/capture_analysis.hpp"
 #include "metrics/gap_analyzer.hpp"
 #include "metrics/goodput.hpp"
 #include "metrics/precision.hpp"

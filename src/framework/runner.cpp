@@ -5,7 +5,9 @@
 
 #include <fstream>
 
+#include "framework/parallel.hpp"
 #include "kernel/udp_socket.hpp"
+#include "metrics/capture_analysis.hpp"
 #include "quic/client.hpp"
 #include "quic/app_source.hpp"
 #include "quic/qlog.hpp"
@@ -82,10 +84,11 @@ RunResult Runner::run_once(const ExperimentConfig& config,
   const bool is_tcp = config.stack == StackKind::kTcpTls;
   const std::uint32_t flow = is_tcp ? 2u : 1u;
 
-  // Keep the tap capture; all metrics derive from it.
-  metrics::GapAnalyzer gap_analyzer({.flow = flow});
-  metrics::TrainAnalyzer train_analyzer({.flow = flow});
-  metrics::PrecisionAnalyzer precision_analyzer({.flow = flow});
+  // All metrics derive from the tap; one incremental pass as packets hit
+  // the wire replaces four post-hoc walks over the capture.
+  metrics::CaptureAnalyzer capture_analyzer({.flow = flow});
+  topo.tap().set_on_packet(
+      [&capture_analyzer](const net::Packet& pkt) { capture_analyzer.add(pkt); });
 
   if (is_tcp) {
     tcp::TcpServer::Config server_cfg;
@@ -119,11 +122,11 @@ RunResult Runner::run_once(const ExperimentConfig& config,
         client.stats().payload_bytes_received,
         client.stats().first_packet_time, client.stats().completion_time);
     result.dropped_packets = topo.bottleneck_drops();
-    result.gaps = gap_analyzer.analyze(topo.tap().capture());
-    result.trains = train_analyzer.analyze(topo.tap().capture());
-    result.precision = precision_analyzer.analyze(topo.tap().capture());
-    result.wire_data_packets =
-        static_cast<std::int64_t>(gap_analyzer.data_times(topo.tap().capture()).size());
+    metrics::CaptureAnalysis analysis = capture_analyzer.finish();
+    result.gaps = std::move(analysis.gaps);
+    result.trains = std::move(analysis.trains);
+    result.precision = std::move(analysis.precision);
+    result.wire_data_packets = analysis.wire_data_packets;
     if (config.keep_capture) {
       result.capture = std::make_shared<const std::vector<net::Packet>>(
           topo.tap().capture());
@@ -220,11 +223,11 @@ RunResult Runner::run_once(const ExperimentConfig& config,
       client.stats().payload_bytes_received, client.stats().first_packet_time,
       client.stats().completion_time);
   result.dropped_packets = topo.bottleneck_drops();
-  result.gaps = gap_analyzer.analyze(topo.tap().capture());
-  result.trains = train_analyzer.analyze(topo.tap().capture());
-  result.precision = precision_analyzer.analyze(topo.tap().capture());
-  result.wire_data_packets = static_cast<std::int64_t>(
-      gap_analyzer.data_times(topo.tap().capture()).size());
+  metrics::CaptureAnalysis analysis = capture_analyzer.finish();
+  result.gaps = std::move(analysis.gaps);
+  result.trains = std::move(analysis.trains);
+  result.precision = std::move(analysis.precision);
+  result.wire_data_packets = analysis.wire_data_packets;
   if (config.keep_capture) {
     result.capture = std::make_shared<const std::vector<net::Packet>>(
         topo.tap().capture());
@@ -233,12 +236,9 @@ RunResult Runner::run_once(const ExperimentConfig& config,
 }
 
 std::vector<RunResult> Runner::run_all(const ExperimentConfig& config) {
-  std::vector<RunResult> results;
-  results.reserve(static_cast<std::size_t>(config.repetitions));
-  for (int rep = 0; rep < config.repetitions; ++rep) {
-    results.push_back(run_once(config, config.seed + static_cast<std::uint64_t>(rep)));
-  }
-  return results;
+  // Repetitions fan out across the default worker pool (QUICSTEPS_JOBS /
+  // hardware concurrency); results are bit-identical to a serial loop.
+  return ParallelRunner().run_all(config);
 }
 
 }  // namespace quicsteps::framework

@@ -1,0 +1,77 @@
+#include "metrics/capture_analysis.hpp"
+
+namespace quicsteps::metrics {
+
+void CaptureAnalyzer::add(const net::Packet& pkt) {
+  if (pkt.flow != config_.flow) return;
+  if (pkt.kind != net::PacketKind::kQuicData &&
+      pkt.kind != net::PacketKind::kTcpData) {
+    return;
+  }
+
+  // Precision offset (PrecisionAnalyzer semantics: GSO segments beyond the
+  // first carry no per-packet expectation and are skipped).
+  if (!(pkt.gso_buffer_id != 0 && pkt.gso_segment_index != 0)) {
+    offsets_ms_.push_back(
+        (pkt.wire_time - pkt.expected_send_time).to_millis());
+  }
+
+  if (data_packets_ > 0) {
+    const sim::Duration gap = pkt.wire_time - last_time_;
+    gaps_ms_.push_back(gap.to_millis());
+    if (gap <= config_.back_to_back_bound) ++b2b_gaps_;
+    if (gap < sim::Duration::micros(1500)) ++below_1500us_gaps_;
+    if (gap < config_.train_threshold) {
+      ++current_train_;
+    } else {
+      train_lengths_.push_back(current_train_);
+      packets_by_length_[current_train_] +=
+          static_cast<std::int64_t>(current_train_);
+      current_train_ = 1;
+    }
+  } else {
+    current_train_ = 1;
+  }
+  last_time_ = pkt.wire_time;
+  ++data_packets_;
+}
+
+CaptureAnalysis CaptureAnalyzer::finish() const {
+  CaptureAnalysis out;
+
+  out.gaps.gaps_ms = gaps_ms_;
+  if (!gaps_ms_.empty()) {
+    const double n = static_cast<double>(gaps_ms_.size());
+    out.gaps.back_to_back_fraction = static_cast<double>(b2b_gaps_) / n;
+    out.gaps.below_1500us_fraction =
+        static_cast<double>(below_1500us_gaps_) / n;
+    out.gaps.summary_ms = summarize(out.gaps.gaps_ms);
+  }
+
+  out.trains.train_lengths = train_lengths_;
+  out.trains.packets_by_length = packets_by_length_;
+  if (data_packets_ > 0) {
+    // Close the open train without disturbing the incremental state.
+    out.trains.train_lengths.push_back(current_train_);
+    out.trains.packets_by_length[current_train_] +=
+        static_cast<std::int64_t>(current_train_);
+  }
+  out.trains.total_packets = data_packets_;
+
+  out.precision.offsets_ms = offsets_ms_;
+  out.precision.samples = out.precision.offsets_ms.size();
+  out.precision.summary_ms = summarize(out.precision.offsets_ms);
+  out.precision.precision_ms = out.precision.summary_ms.stddev;
+
+  out.wire_data_packets = data_packets_;
+  return out;
+}
+
+CaptureAnalysis CaptureAnalyzer::analyze(
+    const std::vector<net::Packet>& capture) const {
+  CaptureAnalyzer pass(config_);
+  for (const auto& pkt : capture) pass.add(pkt);
+  return pass.finish();
+}
+
+}  // namespace quicsteps::metrics

@@ -1,0 +1,72 @@
+// Single-pass capture analysis.
+//
+// Runner::run_once needs four reports from the same tap capture: inter-
+// packet gaps, packet trains, pacing precision, and the wire data-packet
+// count. The standalone analyzers each re-walk the capture (and two of
+// them re-extract the data timestamps), so a large transfer was scanned
+// four times. CaptureAnalyzer folds all four into one incremental pass:
+// feed packets with add() — directly from WireTap::set_on_packet, or via
+// analyze() over a stored capture — and collect every report at the end
+// with finish(). Each report is bit-identical to its standalone analyzer's
+// output for the same configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "metrics/gap_analyzer.hpp"
+#include "metrics/precision.hpp"
+#include "metrics/train_analyzer.hpp"
+#include "net/packet.hpp"
+
+namespace quicsteps::metrics {
+
+/// All per-run capture reports, computed together.
+struct CaptureAnalysis {
+  GapReport gaps;
+  TrainReport trains;
+  PrecisionReport precision;
+  std::int64_t wire_data_packets = 0;
+};
+
+class CaptureAnalyzer {
+ public:
+  struct Config {
+    /// Only packets of this flow (and data kind) are analyzed.
+    std::uint32_t flow = 1;
+    /// Gaps at/below this bound count as back-to-back (GapAnalyzer).
+    sim::Duration back_to_back_bound = sim::Duration::micros(30);
+    /// Gaps below this threshold chain packets into a train (TrainAnalyzer).
+    sim::Duration train_threshold = sim::Duration::micros(100);
+  };
+
+  CaptureAnalyzer() : CaptureAnalyzer(Config{}) {}
+  explicit CaptureAnalyzer(Config config) : config_(config) {}
+
+  /// Feeds one packet in wire order (e.g. from WireTap::set_on_packet).
+  void add(const net::Packet& pkt);
+
+  /// Builds every report from the packets seen so far. Non-destructive:
+  /// more packets can be added and finish() called again.
+  CaptureAnalysis finish() const;
+
+  /// One-shot convenience: single pass over a stored capture.
+  CaptureAnalysis analyze(const std::vector<net::Packet>& capture) const;
+
+ private:
+  Config config_;
+
+  // Incremental state, updated per data packet.
+  std::vector<double> gaps_ms_;
+  std::vector<double> offsets_ms_;
+  std::vector<std::size_t> train_lengths_;   // closed trains only
+  std::map<std::size_t, std::int64_t> packets_by_length_;
+  std::size_t b2b_gaps_ = 0;
+  std::size_t below_1500us_gaps_ = 0;
+  std::size_t current_train_ = 0;  // open train length (0 = no packet yet)
+  std::int64_t data_packets_ = 0;
+  sim::Time last_time_;
+};
+
+}  // namespace quicsteps::metrics

@@ -1,23 +1,45 @@
 #include "sim/event_loop.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace quicsteps::sim {
 
 void EventHandle::cancel() {
-  if (alive_ && *alive_) {
-    *alive_ = false;
-    if (cancelled_count_) ++*cancelled_count_;
-  }
+  if (loop_ != nullptr) loop_->cancel_slot(slot_, gen_);
 }
 
-bool EventHandle::pending() const { return alive_ && *alive_; }
+bool EventHandle::pending() const {
+  return loop_ != nullptr && loop_->slot_live(slot_, gen_);
+}
+
+EventLoop::EventLoop() : wheel_(kBuckets) {}
 
 EventHandle EventLoop::schedule_at(Time at, std::function<void()> fn) {
   if (at < now_) at = now_;
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Entry{at, next_seq_++, std::move(fn), alive});
-  return EventHandle(std::move(alive), cancelled_count_);
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+
+  const Rec rec{at.ns(), next_seq_++, slot};
+  ++live_count_;
+  if (bucket_index(rec.at_ns) < base_idx_ + kBuckets) {
+    wheel_insert(rec);
+  } else {
+    overflow_.push_back(rec);
+    std::push_heap(overflow_.begin(), overflow_.end(), rec_after);
+  }
+  return EventHandle(this, slot, s.gen);
 }
 
 EventHandle EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
@@ -25,22 +47,165 @@ EventHandle EventLoop::schedule_after(Duration delay, std::function<void()> fn) 
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void EventLoop::skim() const {
-  while (!queue_.empty() && !*queue_.top().alive) {
-    queue_.pop();
-    --*cancelled_count_;
+void EventLoop::deactivate_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  ++s.gen;  // outstanding handles go inert
+  --live_count_;
+}
+
+void EventLoop::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+  if (!slot_live(slot, gen)) return;
+  slots_[slot].fn = nullptr;  // release captured state eagerly
+  deactivate_slot(slot);
+  // The queue record became a tombstone; wheel tombstones are pruned when
+  // the cursor reaches them, the overflow top is kept live eagerly.
+  clean_overflow_top();
+}
+
+void EventLoop::wheel_insert(const Rec& rec) {
+  const std::uint64_t idx = bucket_index(rec.at_ns);
+  wheel_[idx & kMask].push_back(rec);
+  set_bit(idx);
+  ++wheel_count_;
+  if (idx < hint_idx_) hint_idx_ = idx;
+  if (idx == active_idx_) active_sorted_ = false;
+}
+
+void EventLoop::clean_overflow_top() {
+  while (!overflow_.empty() && !slots_[overflow_.front().slot].live) {
+    release_slot(overflow_.front().slot);
+    std::pop_heap(overflow_.begin(), overflow_.end(), rec_after);
+    overflow_.pop_back();
+  }
+}
+
+std::uint64_t EventLoop::next_occupied(std::uint64_t from) const {
+  const std::uint64_t end = base_idx_ + kBuckets;
+  std::uint64_t idx = std::max(from, base_idx_);
+  while (idx < end) {
+    std::uint64_t word = occupied_[(idx & kMask) >> 6];
+    word &= ~std::uint64_t{0} << (idx & 63);
+    // Do not run past the window end within this word.
+    const std::uint64_t word_base = idx - (idx & 63);
+    if (word != 0) {
+      const std::uint64_t found =
+          word_base + static_cast<std::uint64_t>(std::countr_zero(word));
+      if (found >= end) return kNoBucket;
+      return found;
+    }
+    idx = word_base + 64;
+  }
+  return kNoBucket;
+}
+
+void EventLoop::advance_now(Time to) {
+  now_ = to;
+  const std::uint64_t nb = bucket_index(now_.ns());
+  if (nb <= base_idx_) return;
+  base_idx_ = nb;
+  if (hint_idx_ < base_idx_) hint_idx_ = base_idx_;
+  // Overflow records that entered the horizon move into the wheel. Every
+  // live record here is >= now(), so it lands in [base_idx_, base_idx_ +
+  // kBuckets); dead ones are discarded.
+  while (!overflow_.empty() &&
+         bucket_index(overflow_.front().at_ns) < base_idx_ + kBuckets) {
+    const Rec rec = overflow_.front();
+    std::pop_heap(overflow_.begin(), overflow_.end(), rec_after);
+    overflow_.pop_back();
+    if (slots_[rec.slot].live) {
+      wheel_insert(rec);
+    } else {
+      release_slot(rec.slot);
+    }
+  }
+  clean_overflow_top();
+}
+
+bool EventLoop::locate_next(bool* from_overflow) {
+  for (;;) {
+    if (live_count_ == 0) return false;
+    if (wheel_count_ > 0) {
+      const std::uint64_t found = next_occupied(hint_idx_);
+      if (found != kNoBucket) {
+        hint_idx_ = found;
+        std::vector<Rec>& b = wheel_[found & kMask];
+        if (found != active_idx_ || !active_sorted_) {
+          // Prune tombstones, then sort latest-first so draining pops the
+          // earliest record off the back.
+          std::size_t kept = 0;
+          for (const Rec& rec : b) {
+            if (slots_[rec.slot].live) {
+              b[kept++] = rec;
+            } else {
+              release_slot(rec.slot);
+            }
+          }
+          wheel_count_ -= b.size() - kept;
+          b.resize(kept);
+          std::sort(b.begin(), b.end(), rec_after);
+          active_idx_ = found;
+          active_sorted_ = true;
+        } else {
+          // Sorted earlier; records cancelled since then pile up dead at
+          // arbitrary positions — only the back needs to be live.
+          while (!b.empty() && !slots_[b.back().slot].live) {
+            release_slot(b.back().slot);
+            b.pop_back();
+            --wheel_count_;
+          }
+        }
+        if (b.empty()) {
+          clear_bit(found);
+          active_idx_ = kNoBucket;
+          continue;
+        }
+        *from_overflow = false;
+        return true;
+      }
+      // The hint can overshoot tombstone buckets stranded behind it by a
+      // time jump (their ring slots alias earlier window positions).
+      // Rescan from the base: every set bit is visible from there, and
+      // each tombstone bucket found gets pruned, so this terminates.
+      hint_idx_ = base_idx_;
+      continue;
+    }
+    clean_overflow_top();
+    if (!overflow_.empty()) {
+      *from_overflow = true;
+      return true;
+    }
   }
 }
 
 bool EventLoop::run_one() {
-  skim();
-  if (queue_.empty()) return false;
-  // Move the entry out before running: the callback may schedule or cancel.
-  Entry entry = queue_.top();
-  queue_.pop();
-  *entry.alive = false;  // Executed events are no longer cancellable.
-  now_ = entry.at;
-  entry.fn();
+  bool from_overflow = false;
+  if (!locate_next(&from_overflow)) return false;
+
+  Rec rec;
+  if (from_overflow) {
+    rec = overflow_.front();
+    std::pop_heap(overflow_.begin(), overflow_.end(), rec_after);
+    overflow_.pop_back();
+    clean_overflow_top();
+  } else {
+    std::vector<Rec>& b = wheel_[active_idx_ & kMask];
+    rec = b.back();
+    b.pop_back();
+    --wheel_count_;
+    if (b.empty()) {
+      clear_bit(active_idx_);
+      active_idx_ = kNoBucket;
+    }
+  }
+
+  // Move the callback out before running: it may schedule new events into
+  // this very slot (recycled via the free list) or cancel others.
+  std::function<void()> fn = std::move(slots_[rec.slot].fn);
+  deactivate_slot(rec.slot);
+  release_slot(rec.slot);
+  advance_now(Time::from_ns(rec.at_ns));
+  fn();
   return true;
 }
 
@@ -52,20 +217,38 @@ std::size_t EventLoop::run() {
 
 std::size_t EventLoop::run_until(Time deadline) {
   std::size_t n = 0;
-  for (;;) {
-    skim();
-    if (queue_.empty() || queue_.top().at > deadline) break;
+  bool from_overflow = false;
+  while (locate_next(&from_overflow)) {
+    const std::int64_t at = from_overflow
+                                ? overflow_.front().at_ns
+                                : wheel_[active_idx_ & kMask].back().at_ns;
+    if (at > deadline.ns()) break;
     run_one();
     ++n;
   }
-  if (now_ < deadline) now_ = deadline;
+  if (now_ < deadline) advance_now(deadline);
   return n;
 }
 
 Time EventLoop::next_event_time() const {
-  skim();
-  if (queue_.empty()) return Time::infinite();
-  return queue_.top().at;
+  if (live_count_ == 0) return Time::infinite();
+  // Earliest live wheel record: scan occupied buckets from the front and
+  // take the min over live records of the first bucket that has any
+  // (buckets partition time, so no later bucket can beat it).
+  std::uint64_t idx = std::max(base_idx_, hint_idx_);
+  while ((idx = next_occupied(idx)) != kNoBucket) {
+    const std::vector<Rec>& b = wheel_[idx & kMask];
+    const Rec* best = nullptr;
+    for (const Rec& rec : b) {
+      if (!slots_[rec.slot].live) continue;
+      if (best == nullptr || rec_before(rec, *best)) best = &rec;
+    }
+    if (best != nullptr) return Time::from_ns(best->at_ns);
+    ++idx;  // tombstone-only bucket; the next pop sweeps it
+  }
+  // clean_overflow_top() keeps the overflow top live.
+  if (!overflow_.empty()) return Time::from_ns(overflow_.front().at_ns);
+  return Time::infinite();
 }
 
 }  // namespace quicsteps::sim

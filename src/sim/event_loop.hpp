@@ -1,16 +1,23 @@
 // Deterministic discrete-event scheduler.
 //
-// The loop owns a priority queue of (time, sequence, callback) entries.
-// Events at the same instant run in scheduling order, which makes every run
-// of a given seed bit-for-bit reproducible. Scheduled events can be
-// cancelled through the returned handle; cancellation is O(1) (the entry is
-// tombstoned and skipped at pop time).
+// Events live in a calendar queue: a ring of fixed-width time buckets (the
+// wheel) for the near future plus a min-heap for events beyond the wheel
+// horizon. Scheduling appends a 24-byte POD record to its bucket in O(1);
+// draining sorts each bucket once when the cursor reaches it. Events at the
+// same instant run in scheduling order (a global sequence number breaks
+// ties), which makes every run of a given seed bit-for-bit reproducible.
+//
+// Callbacks are kept in a slab of reusable slots, recycled through a free
+// list, so steady-state scheduling performs no allocations (callbacks that
+// fit std::function's small-buffer optimisation never touch the heap).
+// Cancellation through the returned handle is amortized O(1): the slot's
+// generation counter is bumped and the stale queue record is skipped when
+// it surfaces.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -20,6 +27,10 @@ namespace quicsteps::sim {
 class EventLoop;
 
 /// Handle to a scheduled event. Default-constructed handles are inert.
+/// A handle is a (slot, generation) ticket into the owning loop's slab:
+/// once the event runs or is cancelled, the slot's generation moves on and
+/// every outstanding handle to it becomes inert — including handles to
+/// slots that have since been recycled for newer events.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -33,16 +44,16 @@ class EventHandle {
 
  private:
   friend class EventLoop;
-  EventHandle(std::shared_ptr<bool> alive,
-              std::shared_ptr<std::size_t> cancelled_count)
-      : alive_(std::move(alive)), cancelled_count_(std::move(cancelled_count)) {}
-  std::shared_ptr<bool> alive_;
-  std::shared_ptr<std::size_t> cancelled_count_;
+  EventHandle(EventLoop* loop, std::uint32_t slot, std::uint32_t gen)
+      : loop_(loop), slot_(slot), gen_(gen) {}
+  EventLoop* loop_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class EventLoop {
  public:
-  EventLoop() = default;
+  EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -66,32 +77,93 @@ class EventLoop {
   bool run_one();
 
   /// Number of live (non-cancelled) pending events.
-  std::size_t pending_count() const { return queue_.size() - *cancelled_count_; }
-  bool empty() const { return pending_count() == 0; }
+  std::size_t pending_count() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
 
   /// Time of the earliest pending event, or Time::infinite() when empty.
   Time next_event_time() const;
 
  private:
-  struct Entry {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+  friend class EventHandle;
 
-    bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
+  static constexpr int kWidthBits = 13;   // 8.192 us per bucket
+  static constexpr int kBucketBits = 11;  // 2048 buckets -> ~16.8 ms horizon
+  static constexpr std::uint64_t kBuckets = std::uint64_t{1} << kBucketBits;
+  static constexpr std::uint64_t kMask = kBuckets - 1;
+  static constexpr std::uint64_t kNoBucket = ~std::uint64_t{0};
+
+  /// Callback storage, recycled through a free list. `gen` advances every
+  /// time the slot's event runs or is cancelled, invalidating old handles.
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen = 0;
+    bool live = false;
   };
 
-  // Pops tombstoned entries off the top of the queue.
-  void skim() const;
+  /// 24-byte POD queue record. A record whose slot is no longer live is a
+  /// tombstone and is dropped when it surfaces.
+  struct Rec {
+    std::int64_t at_ns;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
 
-  // mutable so const accessors can drop tombstones they encounter.
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::shared_ptr<std::size_t> cancelled_count_ =
-      std::make_shared<std::size_t>(0);
+  static bool rec_before(const Rec& a, const Rec& b) {
+    if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
+    return a.seq < b.seq;
+  }
+  /// Comparator for the overflow min-heap (std::push_heap wants max-first).
+  static bool rec_after(const Rec& a, const Rec& b) {
+    return rec_before(b, a);
+  }
+  static std::uint64_t bucket_index(std::int64_t at_ns) {
+    return static_cast<std::uint64_t>(at_ns) >> kWidthBits;
+  }
+
+  bool slot_live(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slots_.size() && slots_[slot].live &&
+           slots_[slot].gen == gen;
+  }
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen);
+  /// Marks a slot's event as done (executed or cancelled): handles go inert.
+  void deactivate_slot(std::uint32_t slot);
+  /// Returns a slot whose queue record is gone to the free list.
+  void release_slot(std::uint32_t slot) { free_slots_.push_back(slot); }
+
+  void set_bit(std::uint64_t idx) {
+    occupied_[(idx & kMask) >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+  void clear_bit(std::uint64_t idx) {
+    occupied_[(idx & kMask) >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  }
+  /// First occupied bucket with absolute index in [from, base_idx_ +
+  /// kBuckets), or kNoBucket. (Tombstone-only buckets count as occupied.)
+  std::uint64_t next_occupied(std::uint64_t from) const;
+
+  void wheel_insert(const Rec& rec);
+  /// Drops dead records off the overflow heap top so the top, if any, is
+  /// live (keeps next_event_time() exact without mutation).
+  void clean_overflow_top();
+  /// Moves now() (and the wheel base) forward, pulling overflow records
+  /// that entered the horizon into their buckets.
+  void advance_now(Time to);
+  /// Positions the cursor on the earliest live record, pruning tombstones
+  /// on the way. Returns false when no live events remain; otherwise the
+  /// record is wheel_[active_idx_ & kMask].back() (when *from_overflow is
+  /// false) or overflow_.front().
+  bool locate_next(bool* from_overflow);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::vector<Rec>> wheel_;
+  std::array<std::uint64_t, kBuckets / 64> occupied_{};
+  std::vector<Rec> overflow_;  // min-heap on rec_after
+  std::uint64_t base_idx_ = 0;        // bucket holding now()
+  std::uint64_t hint_idx_ = 0;        // scans start here (<= first occupied)
+  std::uint64_t active_idx_ = kNoBucket;  // bucket sorted for draining
+  bool active_sorted_ = false;
+  std::size_t wheel_count_ = 0;  // records in the wheel, incl. tombstones
+  std::size_t live_count_ = 0;
   Time now_;
   std::uint64_t next_seq_ = 0;
 };

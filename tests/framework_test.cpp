@@ -108,6 +108,65 @@ TEST(Reports, CwndTraceRendering) {
   EXPECT_NE(out.find("cwnd max"), std::string::npos);
 }
 
+// --------------------------------------------------- parallel execution
+
+TEST(ParallelRunner, JobsResolutionOrder) {
+  EXPECT_GE(ParallelRunner().jobs(), 1);   // env / hardware fallback
+  EXPECT_EQ(ParallelRunner(1).jobs(), 1);  // explicit wins
+  EXPECT_EQ(ParallelRunner(4).jobs(), 4);
+}
+
+TEST(ParallelRunner, GridIsBitIdenticalToSerial) {
+  // The whole point of the worker pool: fanning a (config, seed) grid out
+  // across threads must not change a single bit of any result. Compare a
+  // 3-stack x 2-repetition grid against the serial reference loop.
+  std::vector<ExperimentConfig> grid;
+  for (auto stack : {StackKind::kQuicheSf, StackKind::kPicoquic,
+                     StackKind::kTcpTls}) {
+    auto config = quick_config(stack);
+    config.repetitions = 2;
+    config.seed = 10 + grid.size();
+    grid.push_back(config);
+  }
+
+  auto parallel = ParallelRunner(4).run_grid(grid);
+
+  ASSERT_EQ(parallel.size(), grid.size());
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    ASSERT_EQ(parallel[c].size(),
+              static_cast<std::size_t>(grid[c].repetitions));
+    for (int rep = 0; rep < grid[c].repetitions; ++rep) {
+      const auto seed = grid[c].seed + static_cast<std::uint64_t>(rep);
+      const auto serial = Runner::run_once(grid[c], seed);
+      const auto& par = parallel[c][static_cast<std::size_t>(rep)];
+      SCOPED_TRACE(grid[c].label + " rep " + std::to_string(rep));
+      EXPECT_EQ(par.completed, serial.completed);
+      EXPECT_EQ(par.packets_sent, serial.packets_sent);
+      EXPECT_EQ(par.dropped_packets, serial.dropped_packets);
+      EXPECT_EQ(par.packets_declared_lost, serial.packets_declared_lost);
+      EXPECT_EQ(par.wire_data_packets, serial.wire_data_packets);
+      EXPECT_DOUBLE_EQ(par.goodput.goodput.mbps(),
+                       serial.goodput.goodput.mbps());
+      EXPECT_EQ(par.gaps.gaps_ms, serial.gaps.gaps_ms);
+      EXPECT_EQ(par.trains.packets_by_length, serial.trains.packets_by_length);
+      EXPECT_DOUBLE_EQ(par.precision.precision_ms,
+                       serial.precision.precision_ms);
+    }
+  }
+}
+
+TEST(ParallelRunner, RunAllMatchesRunnerInterface) {
+  auto config = quick_config(StackKind::kQuiche);
+  config.repetitions = 2;
+  auto pooled = ParallelRunner(2).run_all(config);
+  auto reference = Runner::run_all(config);
+  ASSERT_EQ(pooled.size(), reference.size());
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    EXPECT_EQ(pooled[i].packets_sent, reference[i].packets_sent);
+    EXPECT_EQ(pooled[i].gaps.gaps_ms, reference[i].gaps.gaps_ms);
+  }
+}
+
 // ------------------------------------------------------ property sweeps
 
 struct SweepParam {

@@ -126,6 +126,66 @@ TEST(EventLoop, NextEventTimeSkipsCancelled) {
   EXPECT_EQ(loop.next_event_time(), Time::zero() + 2_ms);
 }
 
+TEST(EventLoop, SlabStressScheduleCancelReschedule) {
+  // Hammer the slot slab: schedule 100k events across a wide horizon (both
+  // wheel and overflow paths), cancel every third one, reschedule into the
+  // freed slots, then run to completion. Exercises slot reuse, generation
+  // bumps, and tombstone pruning at scale.
+  EventLoop loop;
+  constexpr int kEvents = 100'000;
+  std::vector<EventHandle> handles;
+  handles.reserve(kEvents);
+  std::int64_t fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    // Spread from microseconds to seconds so some land in the calendar
+    // horizon and some in the far-future overflow structure.
+    auto delay = Duration::micros(1 + (static_cast<std::int64_t>(i) * 37) %
+                                          2'000'000);
+    handles.push_back(loop.schedule_after(delay, [&] { ++fired; }));
+  }
+  int cancelled = 0;
+  for (int i = 0; i < kEvents; i += 3) {
+    handles[static_cast<std::size_t>(i)].cancel();
+    ++cancelled;
+  }
+  EXPECT_EQ(loop.pending_count(),
+            static_cast<std::size_t>(kEvents - cancelled));
+  // Refill the freed slots; the old handles must stay inert.
+  for (int i = 0; i < cancelled; ++i) {
+    loop.schedule_after(Duration::micros(10 + i), [&] { ++fired; });
+  }
+  loop.run();
+  EXPECT_EQ(fired, kEvents);  // survivors + refills, none double-fired
+  EXPECT_EQ(loop.pending_count(), 0u);
+}
+
+TEST(EventLoop, StaleHandlesFromReusedSlotsAreInert) {
+  // A handle whose slot was freed and re-acquired by a newer event must not
+  // cancel (or otherwise affect) the new occupant.
+  EventLoop loop;
+  int first = 0, second = 0;
+  auto a = loop.schedule_after(1_ms, [&] { ++first; });
+  a.cancel();  // frees the slot
+  // Likely reuses a's slot with a bumped generation.
+  loop.schedule_after(2_ms, [&] { ++second; });
+  EXPECT_FALSE(a.pending());
+  a.cancel();  // stale: must be a no-op against the new occupant
+  loop.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+
+  // Same pattern after the event RAN (not just cancelled).
+  int third = 0, fourth = 0;
+  auto b = loop.schedule_after(1_ms, [&] { ++third; });
+  loop.run();
+  EXPECT_EQ(third, 1);
+  loop.schedule_after(1_ms, [&] { ++fourth; });
+  EXPECT_FALSE(b.pending());
+  b.cancel();  // stale after run: also a no-op
+  loop.run();
+  EXPECT_EQ(fourth, 1);
+}
+
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) {

@@ -10,7 +10,7 @@
 //   --qdisc     fifo | fq_codel | fq | etf | etf-lt
 //   --gso       off | on | paced          --gso-segments N
 //   --sendmmsg                            (batch sends, GSO off)
-//   --payload-mib N   --reps N   --seed N
+//   --payload-mib N   --reps N   --seed N   --jobs N
 //   --rate-mbit N     --rtt-ms N --buffer-kb N
 //   --loss P          --reorder P          --gro-us N
 //   --csv PREFIX      (PREFIX_summary.csv, PREFIX_gaps.<rep>.csv,
@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
   framework::ExperimentConfig config;
   config.label = "cli";
   std::string csv_prefix;
+  int jobs = 0;  // 0 = QUICSTEPS_JOBS env, then hardware concurrency.
 
   auto next_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage_error(std::string(argv[i]) + " needs a value");
@@ -102,6 +103,8 @@ int main(int argc, char** argv) {
       config.repetitions = std::stoi(next_value(i));
     } else if (flag == "--seed") {
       config.seed = std::stoull(next_value(i));
+    } else if (flag == "--jobs") {
+      jobs = std::stoi(next_value(i));
     } else if (flag == "--rate-mbit") {
       config.topology.bottleneck_rate =
           net::DataRate::megabits_per_second(std::stoll(next_value(i)));
@@ -145,10 +148,13 @@ int main(int argc, char** argv) {
     summary.open(csv_prefix + "_summary.csv");
   }
 
-  std::vector<framework::RunResult> runs;
+  // Repetitions fan out across the worker pool; results come back in rep
+  // order and are bit-identical to a serial loop, so the report below is
+  // unchanged by --jobs.
+  std::vector<framework::RunResult> runs =
+      framework::ParallelRunner(jobs).run_all(config);
   for (int rep = 0; rep < config.repetitions; ++rep) {
-    const std::uint64_t seed = config.seed + static_cast<std::uint64_t>(rep);
-    auto run = framework::Runner::run_once(config, seed);
+    const auto& run = runs[static_cast<std::size_t>(rep)];
     std::printf(
         "  rep %d: %s goodput=%.2f Mbit/s dropped=%lld lost=%lld "
         "trains<=5=%.1f%% precision=%.3f ms\n",
@@ -170,7 +176,6 @@ int main(int argc, char** argv) {
         framework::write_capture_csv(capture, *run.capture);
       }
     }
-    runs.push_back(std::move(run));
   }
 
   auto agg = framework::aggregate(config.label, runs);
