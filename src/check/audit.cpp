@@ -1,0 +1,62 @@
+#include "check/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace quicsteps::check {
+
+namespace {
+
+std::mutex handler_mutex;
+AuditHandler handler;  // empty -> default print-and-abort
+
+}  // namespace
+
+std::string AuditFailure::to_string() const {
+  std::string out = "audit failed: ";
+  out += message;
+  out += " [";
+  out += expression;
+  out += "] at ";
+  out += file;
+  out += ":";
+  out += std::to_string(line);
+  return out;
+}
+
+void set_audit_handler(AuditHandler h) {
+  std::lock_guard<std::mutex> lock(handler_mutex);
+  handler = std::move(h);
+}
+
+void audit_fail(const char* file, int line, const char* expression,
+                const std::string& message) {
+  AuditFailure failure{file, line, expression, message};
+  AuditHandler h;
+  {
+    std::lock_guard<std::mutex> lock(handler_mutex);
+    h = handler;
+  }
+  if (h) {
+    h(failure);
+    return;
+  }
+  std::fprintf(stderr, "quicsteps: %s\n", failure.to_string().c_str());
+  std::abort();
+}
+
+bool MonotonicityAuditor::observe(std::int64_t t_ns) {
+  const bool ok = t_ns >= last_ns_;
+  if (!ok) {
+    audit_fail(__FILE__, __LINE__, "t_ns >= last_ns_",
+               std::string(what_) + " went backwards: " +
+                   std::to_string(t_ns) + " ns after " +
+                   std::to_string(last_ns_) + " ns");
+  }
+  last_ns_ = t_ns;
+  return ok;
+}
+
+}  // namespace quicsteps::check

@@ -1,0 +1,92 @@
+// Runtime invariant auditing.
+//
+// Every figure in the reproduced paper is a pure function of packet
+// departure timestamps, so the simulator's correctness claims (monotonic
+// event time, packet/byte conservation, bit-for-bit determinism) must be
+// machine-checked, not hoped for. This header provides the reporting spine
+// all auditors share:
+//
+//   * QUICSTEPS_AUDIT(cond, msg) — an assertion that compiles to nothing
+//     unless the build defines QUICSTEPS_AUDIT_ENABLED (CMake option
+//     QUICSTEPS_AUDIT, default ON). Both `cond` and `msg` are evaluated
+//     lazily: a passing audit costs one predictable branch, a disabled
+//     build costs nothing at all.
+//   * audit_fail() — the failure funnel. The default handler prints the
+//     violated invariant and aborts (so sanitizer runs and CI stop at the
+//     first corruption); tests install a capturing handler instead.
+//   * MonotonicityAuditor — the smallest useful auditor: a timestamp
+//     stream that must never go backwards (event execution order, wire
+//     departure order).
+//
+// Auditor classes themselves (this file, conservation_auditor.hpp,
+// determinism_hasher.hpp) are always compiled and callable — tests drive
+// them explicitly in any build; only the QUICSTEPS_AUDIT() hooks woven
+// into hot paths are compile-time gated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace quicsteps::check {
+
+/// Everything a handler needs to report (or throw) a violated invariant.
+struct AuditFailure {
+  const char* file = "";
+  int line = 0;
+  const char* expression = "";
+  std::string message;
+
+  std::string to_string() const;
+};
+
+using AuditHandler = std::function<void(const AuditFailure&)>;
+
+/// Installs a process-wide failure handler; an empty function restores the
+/// default (print to stderr and abort). Install before spawning worker
+/// threads — the handler itself may be invoked from any thread.
+void set_audit_handler(AuditHandler handler);
+
+/// Reports a violated invariant through the installed handler. Never
+/// returns under the default handler.
+void audit_fail(const char* file, int line, const char* expression,
+                const std::string& message);
+
+#ifdef QUICSTEPS_AUDIT_ENABLED
+inline constexpr bool kAuditEnabled = true;
+#define QUICSTEPS_AUDIT(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::quicsteps::check::audit_fail(__FILE__, __LINE__, #cond, (msg));   \
+    }                                                                     \
+  } while (false)
+#else
+inline constexpr bool kAuditEnabled = false;
+#define QUICSTEPS_AUDIT(cond, msg) \
+  do {                             \
+  } while (false)
+#endif
+
+/// Audits that a stream of nanosecond timestamps never decreases. The
+/// event loop's executed-event times and the wire tap's departure stamps
+/// both feed one of these; a calendar-queue bug that resurfaces a stale
+/// record out of order trips it immediately.
+class MonotonicityAuditor {
+ public:
+  /// `what` names the stream in failure messages (not copied; pass a
+  /// string literal).
+  explicit MonotonicityAuditor(const char* what) : what_(what) {}
+
+  /// Feeds the next timestamp; reports through audit_fail() when it is
+  /// earlier than its predecessor. Returns true while the stream is sane.
+  bool observe(std::int64_t t_ns);
+
+  std::int64_t last_ns() const { return last_ns_; }
+
+ private:
+  const char* what_;
+  std::int64_t last_ns_ = std::numeric_limits<std::int64_t>::min();
+};
+
+}  // namespace quicsteps::check

@@ -1,0 +1,14 @@
+#include "check/determinism_hasher.hpp"
+
+#include <cstdio>
+
+namespace quicsteps::check {
+
+std::string DeterminismHasher::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash_));
+  return buf;
+}
+
+}  // namespace quicsteps::check

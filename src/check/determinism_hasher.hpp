@@ -1,0 +1,50 @@
+// Order-sensitive FNV-1a digest of a simulation's observable output.
+//
+// The paper's figures are functions of the wire-tap departure timestamps,
+// so "two runs agree" reduces to "their timestamp streams hash equal".
+// The Runner folds every tap departure into one of these and publishes the
+// digest as RunResult::wire_hash; the determinism gate asserts that serial
+// and parallel executions of the same (config, seed) produce identical
+// hashes (tests/check_test.cpp), which pins scheduling order, packet
+// count, and every timestamp at once in 8 bytes.
+//
+// FNV-1a over the little-endian bytes of each value: cheap (one multiply
+// per byte), dependency-free, and stable across platforms — exactly what a
+// reproducibility fingerprint needs. Not cryptographic, and doesn't have
+// to be: the adversary is a data race, not an attacker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace quicsteps::check {
+
+class DeterminismHasher {
+ public:
+  /// Folds one 64-bit value (e.g. a timestamp in ns) into the digest.
+  void add_u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xffu;
+      hash_ *= kPrime;
+    }
+    ++count_;
+  }
+  void add_i64(std::int64_t value) {
+    add_u64(static_cast<std::uint64_t>(value));
+  }
+
+  std::uint64_t digest() const { return hash_; }
+  /// Number of values folded in so far.
+  std::uint64_t count() const { return count_; }
+
+  /// Digest as fixed-width hex, for reports and diffs.
+  std::string to_string() const;
+
+ private:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t hash_ = kOffsetBasis;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace quicsteps::check

@@ -21,6 +21,9 @@
 
 #include "cc/bbr.hpp"
 #include "cc/cc_factory.hpp"
+#include "check/audit.hpp"
+#include "check/conservation_auditor.hpp"
+#include "check/determinism_hasher.hpp"
 #include "cc/cubic.hpp"
 #include "cc/hystart_pp.hpp"
 #include "cc/new_reno.hpp"

@@ -69,6 +69,11 @@ struct RunResult {
   metrics::GoodputReport goodput;
   std::int64_t dropped_packets = 0;  // at the bottleneck
   std::int64_t wire_data_packets = 0;
+  /// FNV-1a digest of every wire-tap departure timestamp, in wire order —
+  /// the run's determinism fingerprint. Serial and parallel executions of
+  /// the same (config, seed) must produce the same value at any job count
+  /// (tests/check_test.cpp and tools/check.sh enforce this).
+  std::uint64_t wire_hash = 0;
 
   // Sender-side stats.
   std::int64_t packets_sent = 0;

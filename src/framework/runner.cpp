@@ -5,6 +5,8 @@
 
 #include <fstream>
 
+#include "check/audit.hpp"
+#include "check/determinism_hasher.hpp"
 #include "framework/parallel.hpp"
 #include "kernel/udp_socket.hpp"
 #include "metrics/capture_analysis.hpp"
@@ -85,10 +87,31 @@ RunResult Runner::run_once(const ExperimentConfig& config,
   const std::uint32_t flow = is_tcp ? 2u : 1u;
 
   // All metrics derive from the tap; one incremental pass as packets hit
-  // the wire replaces four post-hoc walks over the capture.
+  // the wire replaces four post-hoc walks over the capture. The same pass
+  // folds each departure timestamp into the run's determinism fingerprint
+  // and (in audit builds) checks that wire time never goes backwards.
   metrics::CaptureAnalyzer capture_analyzer({.flow = flow});
-  topo.tap().set_on_packet(
-      [&capture_analyzer](const net::Packet& pkt) { capture_analyzer.add(pkt); });
+  check::DeterminismHasher wire_hasher;
+  check::MonotonicityAuditor tap_monotone("wire-tap departure time");
+  topo.tap().set_on_packet([&capture_analyzer, &wire_hasher,
+                            &tap_monotone](const net::Packet& pkt) {
+    capture_analyzer.add(pkt);
+    wire_hasher.add_i64(pkt.wire_time.ns());
+    if constexpr (check::kAuditEnabled) {
+      tap_monotone.observe(pkt.wire_time.ns());
+    }
+  });
+
+  // Post-run invariants: every stage's books balance, and the tap saw
+  // exactly what entered the bottleneck (they are wired back-to-back).
+  auto audit_run = [&topo, &wire_hasher] {
+    if constexpr (check::kAuditEnabled) {
+      topo.conservation_auditor().audit();
+      QUICSTEPS_AUDIT(topo.bottleneck().counters().packets_in ==
+                          static_cast<std::int64_t>(wire_hasher.count()),
+                      "tap and bottleneck disagree on wire packet count");
+    }
+  };
 
   if (is_tcp) {
     tcp::TcpServer::Config server_cfg;
@@ -122,6 +145,8 @@ RunResult Runner::run_once(const ExperimentConfig& config,
         client.stats().payload_bytes_received,
         client.stats().first_packet_time, client.stats().completion_time);
     result.dropped_packets = topo.bottleneck_drops();
+    result.wire_hash = wire_hasher.digest();
+    audit_run();
     metrics::CaptureAnalysis analysis = capture_analyzer.finish();
     result.gaps = std::move(analysis.gaps);
     result.trains = std::move(analysis.trains);
@@ -223,6 +248,8 @@ RunResult Runner::run_once(const ExperimentConfig& config,
       client.stats().payload_bytes_received, client.stats().first_packet_time,
       client.stats().completion_time);
   result.dropped_packets = topo.bottleneck_drops();
+  result.wire_hash = wire_hasher.digest();
+  audit_run();
   metrics::CaptureAnalysis analysis = capture_analyzer.finish();
   result.gaps = std::move(analysis.gaps);
   result.trains = std::move(analysis.trains);

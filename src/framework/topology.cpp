@@ -82,6 +82,33 @@ Topology::Topology(sim::EventLoop& loop, TopologyConfig config, sim::Rng& rng)
   }
 }
 
+net::CountersTable Topology::counters_table() const {
+  net::CountersTable table;
+  table.add(std::string("qdisc/") + qdisc_->name(), qdisc_->counters());
+  table.add("bottleneck/tbf", bottleneck_.counters());
+  table.add("path/data_netem", data_netem_.counters());
+  table.add("path/ack_netem", client_netem_.counters());
+  return table;
+}
+
+check::ConservationAuditor Topology::conservation_auditor() const {
+  check::ConservationAuditor auditor;
+  auditor.add_stage(std::string("qdisc/") + qdisc_->name(),
+                    qdisc_->counters());
+  const std::size_t tbf = auditor.add_stage(
+      "bottleneck/tbf", bottleneck_.counters(),
+      [this] { return static_cast<std::int64_t>(bottleneck_.backlog_packets()); });
+  const std::size_t netem = auditor.add_stage(
+      "path/data_netem", data_netem_.counters(),
+      [this] { return data_netem_.in_flight(); });
+  auditor.add_stage("path/ack_netem", client_netem_.counters(),
+                    [this] { return client_netem_.in_flight(); });
+  // The TBF hands released packets straight to netem in the same event, so
+  // their books must agree exactly at every instant.
+  auditor.add_edge(tbf, netem);
+  return auditor;
+}
+
 void Topology::set_client_handler(kernel::UdpReceiver::Handler handler) {
   client_handler_ = std::move(handler);
 }

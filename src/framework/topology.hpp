@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "check/conservation_auditor.hpp"
 #include "kernel/nic.hpp"
 #include "kernel/os_model.hpp"
 #include "kernel/qdisc.hpp"
@@ -92,9 +93,21 @@ class Topology {
   }
   const kernel::TbfQdisc& bottleneck() const { return bottleneck_; }
   const kernel::Qdisc& server_qdisc() const { return *qdisc_; }
+  const kernel::NetemQdisc& data_netem() const { return data_netem_; }
+  const kernel::NetemQdisc& client_netem() const { return client_netem_; }
   kernel::OsModel& server_os() { return server_os_; }
   kernel::OsModel& client_os() { return client_os_; }
   const TopologyConfig& config() const { return config_; }
+
+  /// Per-component counter snapshots in sorted name order.
+  net::CountersTable counters_table() const;
+
+  /// Conservation auditor spanning both directions of the path. The
+  /// auditor borrows this topology's counters — audit() while it's alive.
+  /// Valid at any instant, including mid-run: it checks per-stage book
+  /// balance and the synchronous bottleneck -> netem hand-off, not
+  /// end-to-end delivery (packets may legitimately be in flight on links).
+  check::ConservationAuditor conservation_auditor() const;
 
  private:
   sim::EventLoop& loop_;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "check/audit.hpp"
 #include "net/counters.hpp"
 #include "net/packet.hpp"
 #include "sim/event_loop.hpp"
@@ -29,9 +30,17 @@ class Qdisc : public net::PacketSink {
  protected:
   void forward(net::Packet pkt) {
     counters_.count_out(pkt.size_bytes);
+    // A qdisc can only forward what it accepted: emitting an uncounted
+    // (duplicated or conjured) packet drives the implied backlog negative.
+    QUICSTEPS_AUDIT(counters_.packets_queued() >= 0,
+                    name_ + " forwarded a packet it never enqueued");
     if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));
   }
-  void drop(const net::Packet& pkt) { counters_.count_drop(pkt.size_bytes); }
+  void drop(const net::Packet& pkt) {
+    counters_.count_drop(pkt.size_bytes);
+    QUICSTEPS_AUDIT(counters_.packets_queued() >= 0,
+                    name_ + " dropped a packet it never enqueued");
+  }
   void note_arrival(const net::Packet& pkt) { counters_.count_in(pkt.size_bytes); }
 
   sim::EventLoop& loop_;

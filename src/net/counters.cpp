@@ -1,5 +1,6 @@
 #include "net/counters.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace quicsteps::net {
@@ -13,6 +14,24 @@ std::string Counters::to_string() const {
                 static_cast<long long>(packets_dropped),
                 static_cast<long long>(packets_queued()));
   return buf;
+}
+
+void CountersTable::add(std::string name, const Counters& snapshot) {
+  auto pos = std::upper_bound(
+      rows_.begin(), rows_.end(), name,
+      [](const std::string& n, const Row& row) { return n < row.first; });
+  rows_.insert(pos, Row{std::move(name), snapshot});
+}
+
+std::string CountersTable::to_string() const {
+  std::string out;
+  for (const Row& row : rows_) {
+    out += row.first;
+    out += ": ";
+    out += row.second.to_string();
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace quicsteps::net

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace quicsteps::net {
 
@@ -37,6 +39,30 @@ struct Counters {
   }
 
   std::string to_string() const;
+};
+
+/// Named counter snapshots with deterministic emission: rows are kept
+/// sorted by name, so a rendered table is identical across runs and job
+/// counts regardless of the order components were registered in. Anything
+/// that prints per-component counters (reports, the conservation auditor,
+/// debugging dumps) must go through this table — never through a hash-map
+/// walk, whose order is a function of the allocator.
+class CountersTable {
+ public:
+  using Row = std::pair<std::string, Counters>;
+
+  /// Inserts a snapshot at its sorted position (duplicates keep insertion
+  /// order among themselves).
+  void add(std::string name, const Counters& snapshot);
+
+  /// Rows in ascending name order.
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// One "name: in=... out=..." line per row, sorted by name.
+  std::string to_string() const;
+
+ private:
+  std::vector<Row> rows_;
 };
 
 }  // namespace quicsteps::net

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "check/audit.hpp"
+
 namespace quicsteps::net {
 
 void Link::deliver(Packet pkt) {
@@ -22,10 +24,15 @@ void Link::deliver(Packet pkt) {
 
   const std::int64_t size = pkt.size_bytes;
   // The buffer slot frees when serialization completes ...
-  loop_.schedule_at(done, [this, size] { backlog_bytes_ -= size; });
+  loop_.schedule_at(done, [this, size] {
+    backlog_bytes_ -= size;
+    QUICSTEPS_AUDIT(backlog_bytes_ >= 0, "link freed more buffer than held");
+  });
   // ... and the packet reaches the far end one propagation delay later.
   loop_.schedule_at(done + config_.delay, [this, pkt = std::move(pkt)]() mutable {
     counters_.count_out(pkt.size_bytes);
+    QUICSTEPS_AUDIT(counters_.packets_queued() >= 0,
+                    "link delivered a packet it never accepted");
     if (downstream_ != nullptr) {
       downstream_->deliver(std::move(pkt));
     }

@@ -4,6 +4,8 @@
 #include <bit>
 #include <utility>
 
+#include "check/audit.hpp"
+
 namespace quicsteps::sim {
 
 void EventHandle::cancel() {
@@ -49,6 +51,7 @@ EventHandle EventLoop::schedule_after(Duration delay, std::function<void()> fn) 
 
 void EventLoop::deactivate_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
+  QUICSTEPS_AUDIT(s.live, "slab slot deactivated twice");
   s.live = false;
   ++s.gen;  // outstanding handles go inert
   --live_count_;
@@ -100,6 +103,7 @@ std::uint64_t EventLoop::next_occupied(std::uint64_t from) const {
 }
 
 void EventLoop::advance_now(Time to) {
+  QUICSTEPS_AUDIT(to >= now_, "simulated clock moved backwards");
   now_ = to;
   const std::uint64_t nb = bucket_index(now_.ns());
   if (nb <= base_idx_) return;
@@ -199,6 +203,10 @@ bool EventLoop::run_one() {
     }
   }
 
+  QUICSTEPS_AUDIT(rec.at_ns >= now_.ns(),
+                  "calendar queue surfaced an event before now()");
+  QUICSTEPS_AUDIT(rec.slot < slots_.size() && slots_[rec.slot].live,
+                  "calendar queue surfaced a record for a dead slab slot");
   // Move the callback out before running: it may schedule new events into
   // this very slot (recycled via the free list) or cancel others.
   std::function<void()> fn = std::move(slots_[rec.slot].fn);

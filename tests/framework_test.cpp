@@ -145,6 +145,7 @@ TEST(ParallelRunner, GridIsBitIdenticalToSerial) {
       EXPECT_EQ(par.dropped_packets, serial.dropped_packets);
       EXPECT_EQ(par.packets_declared_lost, serial.packets_declared_lost);
       EXPECT_EQ(par.wire_data_packets, serial.wire_data_packets);
+      EXPECT_EQ(par.wire_hash, serial.wire_hash);
       EXPECT_DOUBLE_EQ(par.goodput.goodput.mbps(),
                        serial.goodput.goodput.mbps());
       EXPECT_EQ(par.gaps.gaps_ms, serial.gaps.gaps_ms);

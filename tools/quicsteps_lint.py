@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Nondeterminism lint for the quicsteps simulation sources.
+
+Every published number in this repository is a pure function of (config,
+seed); that only holds if simulation code never consults a wall clock, the
+libc RNG, or a hash container whose iteration order depends on the
+allocator. This lint bans those patterns from src/ outright:
+
+  wall-clock        std::chrono (system_clock/steady_clock/...), time(),
+                    clock(), gettimeofday, clock_gettime — simulated time
+                    comes from sim::Time / the EventLoop, never the host.
+  libc-rand         rand(), srand(), *rand48 — all modelled noise draws
+                    from the seeded sim::Rng.
+  random-device     std::random_device — nondeterministic by definition.
+  unordered-container
+                    std::unordered_{map,set,multimap,multiset} — iteration
+                    order is allocator/libc++-dependent; anything that
+                    feeds output or event order from one is a heisenbug.
+                    Use std::map, a sorted vector, or net::CountersTable.
+  thread-sleep      std::this_thread::sleep_* — wall-clock waiting has no
+                    place in a discrete-event simulation.
+  include-guard     every header must open with #pragma once.
+
+Legitimate exceptions (none today) go in tools/lint_allowlist.txt as
+"<path-relative-to-repo>:<rule>" lines; everything else is a hard failure.
+
+Usage: quicsteps_lint.py [--root REPO_ROOT] [--allowlist FILE] [PATHS...]
+Exit status: 0 clean, 1 violations found, 2 bad invocation.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# rule name -> compiled pattern matched against comment- and string-stripped
+# source lines.
+RULES = {
+    "wall-clock": re.compile(
+        r"std::chrono\b|\btime\s*\(|\bclock\s*\(|\bgettimeofday\b|\bclock_gettime\b"
+    ),
+    "libc-rand": re.compile(r"\brand\s*\(|\bsrand\s*\(|\b[dlm]rand48\b"),
+    "random-device": re.compile(r"std::random_device\b"),
+    "unordered-container": re.compile(
+        r"std::unordered_(map|set|multimap|multiset)\b"
+    ),
+    "thread-sleep": re.compile(r"std::this_thread::sleep_(for|until)\b"),
+}
+
+HEADER_SUFFIXES = {".hpp", ".h"}
+SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
+
+STRING_OR_CHAR = re.compile(
+    r'"(?:[^"\\]|\\.)*"|' r"'(?:[^'\\]|\\.)*'"
+)
+
+
+def strip_strings_and_comments(text):
+    """Blanks out string/char literals and comments, preserving line
+    structure, so a comment *mentioning* rand() is not a violation."""
+    # Literals first: "// not a comment" inside a string must not hide code
+    # after it, and comment markers inside literals must not eat lines.
+    text = STRING_OR_CHAR.sub(lambda m: '"' + " " * (len(m.group()) - 2) + '"',
+                              text)
+    out = []
+    i, n = 0, len(text)
+    in_block = False
+    while i < n:
+        if in_block:
+            if text.startswith("*/", i):
+                in_block = False
+                i += 2
+            else:
+                out.append(text[i] if text[i] == "\n" else " ")
+                i += 1
+        elif text.startswith("/*", i):
+            in_block = True
+            i += 2
+        elif text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def load_allowlist(path):
+    allowed = set()
+    if not path.is_file():
+        return allowed
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ":" not in line:
+            print(f"{path}: malformed allowlist entry {raw!r} "
+                  "(want <path>:<rule>)", file=sys.stderr)
+            sys.exit(2)
+        file_part, rule = line.rsplit(":", 1)
+        if rule not in RULES and rule != "include-guard":
+            print(f"{path}: unknown rule {rule!r} in {raw!r}", file=sys.stderr)
+            sys.exit(2)
+        allowed.add((file_part.strip(), rule))
+    return allowed
+
+
+def lint_file(path, rel, allowed):
+    violations = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+
+    if path.suffix in HEADER_SUFFIXES and "#pragma once" not in text:
+        if (rel, "include-guard") not in allowed:
+            violations.append((rel, 1, "include-guard",
+                               "header lacks #pragma once"))
+
+    stripped = strip_strings_and_comments(text)
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        for rule, pattern in RULES.items():
+            if pattern.search(line) and (rel, rule) not in allowed:
+                violations.append((rel, lineno, rule, line.strip()))
+    return violations
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the repo this "
+                             "script lives in)")
+    parser.add_argument("--allowlist", type=Path, default=None,
+                        help="allowlist file (default: "
+                             "tools/lint_allowlist.txt under --root)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: <root>/src)")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    allowlist_path = args.allowlist or root / "tools" / "lint_allowlist.txt"
+    allowed = load_allowlist(allowlist_path)
+
+    targets = args.paths or [root / "src"]
+    files = []
+    for target in targets:
+        target = target.resolve()
+        if target.is_dir():
+            files.extend(p for p in sorted(target.rglob("*"))
+                         if p.suffix in SOURCE_SUFFIXES)
+        elif target.is_file():
+            files.append(target)
+        else:
+            print(f"quicsteps_lint: no such path: {target}", file=sys.stderr)
+            return 2
+
+    violations = []
+    for path in files:
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+        violations.extend(lint_file(path, rel, allowed))
+
+    for rel, lineno, rule, detail in violations:
+        print(f"{rel}:{lineno}: [{rule}] {detail}")
+    print(f"quicsteps_lint: {len(files)} files, "
+          f"{len(violations)} violation(s)", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
