@@ -21,7 +21,8 @@ int main() {
   }
 
   std::fputs(framework::render_gap_figure(
-                 rows, "Baseline inter-packet gap CDF (x in ms)", 2.0)
+                 rows, "Baseline inter-packet gap CDF (x in ms)",
+                 sim::Duration::millis(2))
                  .c_str(),
              stdout);
 

@@ -37,7 +37,7 @@ int main() {
     }
     std::string title =
         std::string(framework::to_string(stack)) + ": gaps across CCAs";
-    std::fputs(framework::render_gap_figure(rows, title, 2.0).c_str(),
+    std::fputs(framework::render_gap_figure(rows, title, sim::Duration::millis(2)).c_str(),
                stdout);
     title = std::string(framework::to_string(stack)) +
             ": packet trains across CCAs";

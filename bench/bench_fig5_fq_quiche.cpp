@@ -37,7 +37,8 @@ int main() {
                  .c_str(),
              stdout);
   std::fputs(framework::render_gap_figure(
-                 rows, "quiche gaps: baseline vs FQ, rollback vs SF", 2.0)
+                 rows, "quiche gaps: baseline vs FQ, rollback vs SF",
+                 sim::Duration::millis(2))
                  .c_str(),
              stdout);
   std::fputs(framework::render_goodput_table(

@@ -31,7 +31,8 @@ int main() {
   }
 
   std::fputs(framework::render_gap_figure(
-                 rows, "quiche + FQ: inter-packet gaps per GSO mode", 2.0)
+                 rows, "quiche + FQ: inter-packet gaps per GSO mode",
+                 sim::Duration::millis(2))
                  .c_str(),
              stdout);
   std::fputs(framework::render_train_figure(

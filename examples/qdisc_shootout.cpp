@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
   }
 
   std::fputs(framework::render_gap_figure(rows,
-                                          "inter-packet gaps per qdisc", 2.0)
+                                          "inter-packet gaps per qdisc",
+                                          sim::Duration::millis(2))
                  .c_str(),
              stdout);
   return 0;

@@ -27,10 +27,8 @@ void HystartPP::on_round_start() {
 
 sim::Duration HystartPP::eta() const {
   // RTT_THRESH = clamp(MIN_RTT_THRESH, lastRoundMinRTT / 8, MAX_RTT_THRESH)
-  const std::int64_t eighth_us = last_round_min_rtt_.us() / 8;
-  const std::int64_t eta_us =
-      std::clamp(eighth_us, config_.min_rtt_thresh_us, config_.max_rtt_thresh_us);
-  return sim::Duration::micros(eta_us);
+  return std::clamp(last_round_min_rtt_ / 8, config_.min_rtt_thresh,
+                    config_.max_rtt_thresh);
 }
 
 sim::Duration HystartPP::round_metric() const {

@@ -19,8 +19,8 @@ class HystartPP {
  public:
   struct Config {
     // RFC 9406 recommended constants.
-    std::int64_t min_rtt_thresh_us = 4000;   // MIN_RTT_THRESH (4 ms)
-    std::int64_t max_rtt_thresh_us = 16000;  // MAX_RTT_THRESH (16 ms)
+    sim::Duration min_rtt_thresh = sim::Duration::millis(4);   // MIN_RTT_THRESH
+    sim::Duration max_rtt_thresh = sim::Duration::millis(16);  // MAX_RTT_THRESH
     int n_rtt_sample = 8;                    // samples per round before check
     int css_growth_divisor = 4;              // CSS grows cwnd at 1/4 rate
     int css_rounds = 5;                      // rounds before confirming exit

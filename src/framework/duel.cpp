@@ -213,7 +213,11 @@ DuelResult run_duel(const DuelConfig& config) {
   }
 
   flows[0].start();
-  loop.schedule_after(config.b_start_delay, [&flows] { flows[1].start(); });
+  // Pointer capture: `flows` outlives run_until below, but the scheduled
+  // callback must not hold a reference to a local by the analyzer's
+  // dangling-callback rule (scheduling/ref-capture).
+  Flow* flow_b = &flows[1];
+  loop.schedule_after(config.b_start_delay, [flow_b] { flow_b->start(); });
   loop.run_until(sim::Time::zero() + run_deadline(config.a) +
                  config.b_start_delay);
 

@@ -34,7 +34,7 @@ std::string render_goodput_table(const std::vector<Aggregate>& rows,
 }
 
 std::string render_gap_figure(const std::vector<Aggregate>& rows,
-                              const std::string& title, double x_max_ms) {
+                              const std::string& title, sim::Duration x_max) {
   std::string out = heading(title);
   std::vector<metrics::Cdf> cdfs;
   cdfs.reserve(rows.size());
@@ -43,7 +43,7 @@ std::string render_gap_figure(const std::vector<Aggregate>& rows,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     series.emplace_back(rows[i].label, &cdfs[i]);
   }
-  out += metrics::render_ascii_cdf(series, 0.0, x_max_ms, 72, 16,
+  out += metrics::render_ascii_cdf(series, 0.0, x_max.to_millis(), 72, 16,
                                    "inter-packet gap [ms]");
   char line[160];
   std::snprintf(line, sizeof(line), "%-14s %16s %16s %12s\n", "Configuration",

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "framework/aggregate.hpp"
+#include "sim/time.hpp"
 
 namespace quicsteps::framework {
 
@@ -12,10 +13,10 @@ namespace quicsteps::framework {
 std::string render_goodput_table(const std::vector<Aggregate>& rows,
                                  const std::string& title);
 
-/// Figure 2 style: pooled inter-packet gap CDFs (x in ms).
+/// Figure 2 style: pooled inter-packet gap CDFs (x axis rendered in ms).
 std::string render_gap_figure(const std::vector<Aggregate>& rows,
                               const std::string& title,
-                              double x_max_ms = 2.0);
+                              sim::Duration x_max = sim::Duration::millis(2));
 
 /// Figure 3 style: packet-train length table — share of packets per train
 /// length bucket, plus the <=5 headline number.

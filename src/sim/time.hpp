@@ -12,6 +12,21 @@
 
 namespace quicsteps::sim {
 
+namespace detail {
+/// Additions involving the infinite sentinel (INT64_MAX) must stay at the
+/// sentinel instead of wrapping — Time::infinite() + rtt is "never", not a
+/// huge negative instant. Plain overflow saturates the same way (any sum
+/// past the sentinel IS the sentinel), and underflow clamps at INT64_MIN,
+/// so the operation is UB-free for every input.
+constexpr std::int64_t saturating_add_ns(std::int64_t a, std::int64_t b) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  if (b > 0 && a > kMax - b) return kMax;
+  if (b < 0 && a < kMin - b) return kMin;
+  return a + b;
+}
+}  // namespace detail
+
 /// A span of simulated time. Nanosecond resolution, may be negative.
 class Duration {
  public:
@@ -48,7 +63,10 @@ class Duration {
     return ns_ == std::numeric_limits<std::int64_t>::max();
   }
 
-  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  /// Saturates at the infinite sentinel: infinite() + x == infinite().
+  constexpr Duration operator+(Duration o) const {
+    return Duration(detail::saturating_add_ns(ns_, o.ns_));
+  }
   constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
   constexpr Duration operator-() const { return Duration(-ns_); }
   /// Scaling: one overload only (int promotes to double; the mantissa
@@ -61,7 +79,7 @@ class Duration {
     return static_cast<double>(ns_) / static_cast<double>(o.ns_);
   }
   Duration& operator+=(Duration o) {
-    ns_ += o.ns_;
+    ns_ = detail::saturating_add_ns(ns_, o.ns_);
     return *this;
   }
   Duration& operator-=(Duration o) {
@@ -96,13 +114,16 @@ class Time {
     return ns_ == std::numeric_limits<std::int64_t>::max();
   }
 
-  constexpr Time operator+(Duration d) const { return Time(ns_ + d.ns()); }
+  /// Saturates at the infinite sentinel: infinite() + d == infinite().
+  constexpr Time operator+(Duration d) const {
+    return Time(detail::saturating_add_ns(ns_, d.ns()));
+  }
   constexpr Time operator-(Duration d) const { return Time(ns_ - d.ns()); }
   constexpr Duration operator-(Time o) const {
     return Duration::nanos(ns_ - o.ns_);
   }
   Time& operator+=(Duration d) {
-    ns_ += d.ns();
+    ns_ = detail::saturating_add_ns(ns_, d.ns());
     return *this;
   }
   constexpr auto operator<=>(const Time&) const = default;

@@ -44,7 +44,7 @@ void StackServer::on_datagram(const net::Packet& pkt) {
       pending_acks_.push_back(pkt);
       if (!batch_timer_.pending()) {
         batch_timer_ = loop_.schedule_after(
-            sim::Duration::nanos(profile_.loop_busy_duration.ns() - phase),
+            profile_.loop_busy_duration - sim::Duration::nanos(phase),
             [this] { process_ack_batch(); });
       }
       return;

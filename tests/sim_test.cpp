@@ -28,6 +28,35 @@ TEST(Time, ArithmeticRoundTrips) {
   EXPECT_LT(Time::zero(), t);
 }
 
+TEST(Time, InfiniteSentinelSaturatesInsteadOfWrapping) {
+  // Regression: Time::infinite() + d used to wrap INT64_MAX (signed
+  // overflow, UB) into a huge negative instant; now both types saturate
+  // at the sentinel.
+  EXPECT_TRUE((Time::infinite() + 1_ms).is_infinite());
+  EXPECT_TRUE((Duration::infinite() + Duration::seconds(3)).is_infinite());
+  EXPECT_TRUE((Duration::seconds(3) + Duration::infinite()).is_infinite());
+
+  Time t = Time::infinite();
+  t += 250_us;
+  EXPECT_TRUE(t.is_infinite());
+
+  Duration d = Duration::infinite();
+  d += 1_ns;
+  EXPECT_TRUE(d.is_infinite());
+
+  // Plain overflow past the sentinel saturates too (any sum beyond
+  // INT64_MAX *is* "never"), and stays ordered against finite values.
+  const Duration almost = Duration::infinite() - 1_ns;
+  EXPECT_TRUE((almost + 2_ns).is_infinite());
+  EXPECT_LT(Time::zero() + 5_ms, Time::infinite() + 1_ms);
+
+  // Finite arithmetic is untouched.
+  EXPECT_EQ((1_ms + 2_ms).us(), 3000);
+  Time u = Time::zero();
+  u += 7_ms;
+  EXPECT_EQ((u - Time::zero()).ms(), 7);
+}
+
 TEST(Time, DurationRatio) {
   EXPECT_DOUBLE_EQ(10_ms / 2_ms, 5.0);
   EXPECT_DOUBLE_EQ((1_s * 0.25).to_seconds(), 0.25);

@@ -1,0 +1,117 @@
+#include "analyzer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "baseline.hpp"
+
+namespace quicsteps::analyze {
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool family_enabled(const Options& options, const char* family) {
+  if (options.rule_families.empty()) return true;
+  for (const auto& f : options.rule_families) {
+    if (f == family) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AnalysisResult run_analysis(const Options& options) {
+  AnalysisResult result;
+  const std::string root =
+      options.root.empty() ? std::string(".") : options.root;
+  const std::string include_base =
+      options.include_base.empty() ? root + "/src" : options.include_base;
+  std::vector<std::string> paths = options.paths;
+  if (paths.empty()) paths.push_back(root + "/src");
+
+  Model model;
+  if (!build_model(paths, root, include_base, &model, &result.error)) {
+    return result;
+  }
+  result.files_scanned = model.files.size();
+
+  std::vector<Finding> findings;
+  if (family_enabled(options, "layering")) {
+    std::string layers_path = options.layers_file.empty()
+                                  ? root + "/tools/analyze/layers.json"
+                                  : options.layers_file;
+    if (layers_path != "-") {
+      std::string json_text;
+      if (!read_file(layers_path, &json_text)) {
+        result.error = "cannot read layer manifest " + layers_path;
+        return result;
+      }
+      LayerManifest manifest;
+      if (!load_layer_manifest(json_text, &manifest, &result.error)) {
+        return result;
+      }
+      run_layering_rules(model, manifest, &findings);
+    }
+  }
+  if (family_enabled(options, "units")) run_units_rules(model, &findings);
+  if (family_enabled(options, "determinism")) {
+    run_determinism_rules(model, &findings);
+  }
+  if (family_enabled(options, "scheduling")) {
+    run_scheduling_rules(model, &findings);
+  }
+  for (const auto& rule : all_rules()) {
+    if (family_enabled(options, rule_family(rule.id).c_str())) {
+      ++result.rules_run;
+    }
+  }
+
+  Baseline baseline;
+  std::vector<std::string> baseline_files = options.baseline_files;
+  if (baseline_files.empty()) {
+    const std::string default_baseline = root + "/tools/analyze/baseline.txt";
+    if (std::filesystem::exists(default_baseline)) {
+      baseline_files.push_back(default_baseline);
+    }
+  }
+  for (const auto& path : baseline_files) {
+    std::string content;
+    if (!read_file(path, &content)) {
+      result.error = "cannot read baseline " + path;
+      return result;
+    }
+    if (!baseline.load(content, path, &result.error)) return result;
+  }
+
+  for (auto& f : findings) {
+    f.baselined = baseline.matches(f);
+    if (f.baselined) {
+      ++result.baselined_count;
+    } else {
+      ++result.active_count;
+    }
+  }
+  result.unused_baseline_entries = baseline.unused();
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule_id < b.rule_id;
+            });
+  result.findings = std::move(findings);
+  return result;
+}
+
+}  // namespace quicsteps::analyze

@@ -1,0 +1,234 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace quicsteps::analyze {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    skip_ws();
+    JsonValue v;
+    if (!parse_value(&v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  char cur() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void adv() {
+    if (cur() == '\n') ++line_;
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(cur()))) {
+      adv();
+    }
+  }
+  bool fail(const std::string& what) {
+    if (error_->empty()) {
+      *error_ = "line " + std::to_string(line_) + ": " + what;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue* out) {
+    switch (cur()) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->str);
+      case 't':
+      case 'f':
+        return parse_keyword(out);
+      case 'n':
+        return parse_keyword(out);
+      default:
+        if (cur() == '-' || std::isdigit(static_cast<unsigned char>(cur()))) {
+          return parse_number(out);
+        }
+        return fail("unexpected character");
+    }
+  }
+
+  bool parse_keyword(JsonValue* out) {
+    static const struct {
+      const char* word;
+      JsonValue::Kind kind;
+      bool value;
+    } kWords[] = {{"true", JsonValue::Kind::kBool, true},
+                  {"false", JsonValue::Kind::kBool, false},
+                  {"null", JsonValue::Kind::kNull, false}};
+    for (const auto& w : kWords) {
+      const std::size_t n = std::string(w.word).size();
+      if (text_.compare(pos_, n, w.word) == 0) {
+        out->kind = w.kind;
+        out->boolean = w.value;
+        for (std::size_t i = 0; i < n; ++i) adv();
+        return true;
+      }
+    }
+    return fail("unknown keyword");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (cur() == '-') adv();
+    while (std::isdigit(static_cast<unsigned char>(cur())) || cur() == '.' ||
+           cur() == 'e' || cur() == 'E' || cur() == '+' || cur() == '-') {
+      adv();
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (cur() != '"') return fail("expected string");
+    adv();
+    out->clear();
+    while (cur() != '"') {
+      if (cur() == '\0') return fail("unterminated string");
+      if (cur() == '\\') {
+        adv();
+        switch (cur()) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            // Keep it simple: \uXXXX passes through as '?' (the manifest
+            // never uses them).
+            for (int i = 0; i < 4 && cur() != '\0'; ++i) adv();
+            *out += '?';
+            continue;
+          }
+          default:
+            return fail("bad escape");
+        }
+        adv();
+        continue;
+      }
+      *out += cur();
+      adv();
+    }
+    adv();
+    return true;
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    adv();  // '['
+    skip_ws();
+    if (cur() == ']') {
+      adv();
+      return true;
+    }
+    while (true) {
+      JsonValue elem;
+      if (!parse_value(&elem)) return false;
+      out->array.push_back(std::move(elem));
+      skip_ws();
+      if (cur() == ',') {
+        adv();
+        skip_ws();
+        continue;
+      }
+      if (cur() == ']') {
+        adv();
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    adv();  // '{'
+    skip_ws();
+    if (cur() == '}') {
+      adv();
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (cur() != ':') return fail("expected ':' after object key");
+      adv();
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (cur() == ',') {
+        adv();
+        skip_ws();
+        continue;
+      }
+      if (cur() == '}') {
+        adv();
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error) {
+  error->clear();
+  return Parser(text, error).run();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace quicsteps::analyze

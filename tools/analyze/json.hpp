@@ -1,0 +1,52 @@
+// Minimal JSON reader for the analyzer's manifest files.
+//
+// Supports objects, arrays, strings, numbers, booleans and null — enough
+// for tools/analyze/layers.json — with object key order preserved so
+// diagnostics can cite the manifest deterministically. Parse errors return
+// nullopt plus a message; the analyzer treats that as a configuration
+// error (exit 2), never as "no findings".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace quicsteps::analyze {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Ordered: lookup plus iteration in declaration order.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses `text`; on failure returns nullopt and sets `*error` to a
+/// "line N: ..." description.
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error);
+
+/// Escapes a string for embedding in JSON output (no surrounding quotes).
+std::string json_escape(const std::string& s);
+
+}  // namespace quicsteps::analyze

@@ -1,0 +1,17 @@
+// Comment/string/preprocessor-aware C++ lexer for the static analyzer.
+#pragma once
+
+#include <string_view>
+
+#include "token.hpp"
+
+namespace quicsteps::analyze {
+
+/// Lexes `text` into tokens. Comments vanish (they never produce tokens),
+/// string/char literal bodies are preserved but typed so rules can ignore
+/// them, backslash-newline continuations are spliced, and #include paths
+/// come out as dedicated kIncludePath tokens (also collected in
+/// LexResult::includes). Never fails: unexpected bytes lex as punctuation.
+LexResult lex(std::string_view text);
+
+}  // namespace quicsteps::analyze

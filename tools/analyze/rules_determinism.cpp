@@ -1,0 +1,106 @@
+// Determinism rules: every published number must be a pure function of
+// (config, seed). These port tools/quicsteps_lint.py's regex rules onto
+// the token stream, so string literals and comments can never false-
+// positive and one engine owns the policy.
+#include "rule.hpp"
+
+namespace quicsteps::analyze {
+
+namespace {
+
+bool is_unordered_container(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+/// True when tokens[i] is preceded by a member-access operator, i.e.
+/// `x.time(` / `x->clock(` — those are method calls on simulation objects,
+/// not the libc functions.
+bool member_access_before(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return false;
+  return toks[i - 1].is_punct(".") || toks[i - 1].is_punct("->");
+}
+
+bool next_is_call(const std::vector<Token>& toks, std::size_t i) {
+  return i + 1 < toks.size() && toks[i + 1].is_punct("(");
+}
+
+void add(std::vector<Finding>* out, const char* id, const SourceFile& f,
+         const Token& t, std::string message) {
+  out->push_back({id, f.rel_path, t.line, t.col, std::move(message), false});
+}
+
+}  // namespace
+
+void run_determinism_rules(const Model& model, std::vector<Finding>* out) {
+  for (const auto& f : model.files) {
+    if (f.is_header && !f.lex.has_pragma_once) {
+      out->push_back({"determinism/include-guard", f.rel_path, 1, 1,
+                      "header lacks #pragma once", false});
+    }
+
+    const auto& toks = f.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+
+      // std::<something> patterns.
+      if (t.text == "std" && i + 2 < toks.size() &&
+          toks[i + 1].is_punct("::") &&
+          toks[i + 2].kind == TokKind::kIdentifier) {
+        const std::string& m = toks[i + 2].text;
+        if (m == "chrono") {
+          add(out, "determinism/wall-clock", f, t,
+              "std::chrono reads the host clock; simulated time comes from "
+              "sim::Time / the EventLoop");
+        } else if (m == "random_device") {
+          add(out, "determinism/random-device", f, t,
+              "std::random_device is nondeterministic by definition; draw "
+              "from the seeded sim::Rng");
+        } else if (is_unordered_container(m)) {
+          add(out, "determinism/unordered-container", f, t,
+              "std::" + m +
+                  " iteration order is allocator-dependent; use std::map, a "
+                  "sorted vector, or net::CountersTable");
+        } else if (m == "this_thread" && i + 4 < toks.size() &&
+                   toks[i + 3].is_punct("::") &&
+                   (toks[i + 4].is_id("sleep_for") ||
+                    toks[i + 4].is_id("sleep_until"))) {
+          add(out, "determinism/thread-sleep", f, t,
+              "wall-clock sleeping has no place in a discrete-event "
+              "simulation");
+        }
+        continue;
+      }
+
+      // Bare libc calls. `std::time(` / `std::clock(` funnel through here
+      // too: the preceding "std" token matches none of the cases above and
+      // the call itself is still the libc function.
+      if ((t.text == "time" || t.text == "clock") && next_is_call(toks, i) &&
+          !member_access_before(toks, i)) {
+        add(out, "determinism/wall-clock", f, t,
+            t.text + "() reads the host clock; use the EventLoop's now()");
+        continue;
+      }
+      if (t.text == "gettimeofday" || t.text == "clock_gettime") {
+        add(out, "determinism/wall-clock", f, t,
+            t.text + " reads the host clock; use the EventLoop's now()");
+        continue;
+      }
+      if ((t.text == "rand" || t.text == "srand") && next_is_call(toks, i) &&
+          !member_access_before(toks, i)) {
+        add(out, "determinism/libc-rand", f, t,
+            t.text + "() bypasses the seeded sim::Rng");
+        continue;
+      }
+      if (t.text == "drand48" || t.text == "lrand48" ||
+          t.text == "mrand48") {
+        add(out, "determinism/libc-rand", f, t,
+            t.text + " bypasses the seeded sim::Rng");
+        continue;
+      }
+    }
+  }
+}
+
+}  // namespace quicsteps::analyze

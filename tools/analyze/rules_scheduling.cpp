@@ -1,0 +1,86 @@
+// Scheduling hygiene: a lambda handed to EventLoop::schedule_at /
+// schedule_after outlives the current stack frame by construction — the
+// loop runs it later. Capturing locals by reference is therefore a
+// dangling-callback bug waiting for a reordering; capture by value (or a
+// pointer/this) instead. This is a heuristic: code where the referent
+// provably outlives the loop can baseline the finding.
+#include "rule.hpp"
+
+namespace quicsteps::analyze {
+
+namespace {
+
+bool match_paren(const std::vector<Token>& toks, std::size_t open,
+                 std::size_t* close) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].is_punct("(")) ++depth;
+    if (toks[i].is_punct(")")) {
+      --depth;
+      if (depth == 0) {
+        *close = i;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool match_bracket(const std::vector<Token>& toks, std::size_t open,
+                   std::size_t* close) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].is_punct("[")) ++depth;
+    if (toks[i].is_punct("]")) {
+      --depth;
+      if (depth == 0) {
+        *close = i;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void run_scheduling_rules(const Model& model, std::vector<Finding>* out) {
+  for (const auto& f : model.files) {
+    const auto& toks = f.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!(toks[i].is_id("schedule_at") || toks[i].is_id("schedule_after")))
+        continue;
+      if (i + 1 >= toks.size() || !toks[i + 1].is_punct("(")) continue;
+      std::size_t args_end = 0;
+      if (!match_paren(toks, i + 1, &args_end)) continue;
+
+      for (std::size_t j = i + 2; j < args_end; ++j) {
+        if (!toks[j].is_punct("[")) continue;
+        std::size_t cap_end = 0;
+        if (!match_bracket(toks, j, &cap_end) || cap_end >= args_end) break;
+        // Lambda introducer iff the bracket is followed by a parameter
+        // list or body; a subscript like flows[1] is followed by ., =, etc.
+        const bool is_lambda =
+            cap_end + 1 < toks.size() && (toks[cap_end + 1].is_punct("(") ||
+                                          toks[cap_end + 1].is_punct("{"));
+        if (is_lambda) {
+          for (std::size_t k = j + 1; k < cap_end; ++k) {
+            if (toks[k].is_punct("&")) {
+              out->push_back(
+                  {"scheduling/ref-capture", f.rel_path, toks[k].line,
+                   toks[k].col,
+                   "lambda passed to " + toks[i].text +
+                       " captures by reference; the callback runs after "
+                       "this frame returns — capture by value or pointer",
+                   false});
+              break;
+            }
+          }
+        }
+        j = cap_end;  // skip past this bracket group either way
+      }
+    }
+  }
+}
+
+}  // namespace quicsteps::analyze

@@ -1,0 +1,131 @@
+// Unit-safety rules: nanosecond/rate arithmetic must flow through the
+// strong types (sim::Time, sim::Duration, net::DataRate). A raw int64_t
+// with a unit-suffixed name is exactly the kind of value that gets added
+// to a microsecond count without anyone noticing; an .ns() unwrap that is
+// rewrapped in the same expression is arithmetic the strong type should
+// have expressed itself.
+#include "rule.hpp"
+
+namespace quicsteps::analyze {
+
+namespace {
+
+/// Strips the trailing member-variable underscore, then tests the unit
+/// suffix: last_ns_ -> last_ns -> "_ns".
+const char* unit_suffix(const std::string& name) {
+  static const char* kTime[] = {"_ns", "_us", "_ms"};
+  static const char* kRate[] = {"_bps", "_rate"};
+  std::string n = name;
+  if (!n.empty() && n.back() == '_') n.pop_back();
+  for (const char* s : kTime) {
+    const std::string suf(s);
+    if (n.size() > suf.size() && n.compare(n.size() - suf.size(),
+                                           suf.size(), suf) == 0) {
+      return "time";
+    }
+  }
+  for (const char* s : kRate) {
+    const std::string suf(s);
+    if (n.size() > suf.size() && n.compare(n.size() - suf.size(),
+                                           suf.size(), suf) == 0) {
+      return "rate";
+    }
+  }
+  return nullptr;
+}
+
+bool raw_numeric_type(const std::string& s) {
+  return s == "int64_t" || s == "uint64_t" || s == "double";
+}
+
+bool unwrap_accessor(const std::string& s) {
+  return s == "ns" || s == "us" || s == "ms";
+}
+
+bool rewrap_maker(const std::string& s) {
+  return s == "nanos" || s == "micros" || s == "millis" || s == "from_ns";
+}
+
+/// Index of the token after the ')' matching the '(' at `open`, with
+/// `*close` set to the ')' index. Returns false when unbalanced.
+bool match_paren(const std::vector<Token>& toks, std::size_t open,
+                 std::size_t* close) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].is_punct("(")) ++depth;
+    if (toks[i].is_punct(")")) {
+      --depth;
+      if (depth == 0) {
+        *close = i;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void run_units_rules(const Model& model, std::vector<Finding>* out) {
+  for (const auto& f : model.files) {
+    const auto& toks = f.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdentifier || t.in_pp) continue;
+
+      // Raw declarations/parameters: [std::]{int64_t,uint64_t,double}
+      // <name with unit suffix> not followed by '(' (a call or function
+      // declaration named *_ns is the accessor idiom, not a raw value).
+      if (raw_numeric_type(t.text)) {
+        std::size_t j = i + 1;
+        if (j < toks.size() && toks[j].kind == TokKind::kIdentifier &&
+            !toks[j].in_pp) {
+          const char* cat = unit_suffix(toks[j].text);
+          const bool is_decl =
+              j + 1 >= toks.size() || !toks[j + 1].is_punct("(");
+          if (cat != nullptr && is_decl) {
+            const char* id = cat[0] == 't' ? "units/raw-time-type"
+                                           : "units/raw-rate-type";
+            const char* wrap = cat[0] == 't'
+                                   ? "sim::Duration / sim::Time"
+                                   : "net::DataRate";
+            out->push_back(
+                {id, f.rel_path, toks[j].line, toks[j].col,
+                 "raw " + t.text + " '" + toks[j].text +
+                     "' carries a unit suffix; use " + wrap +
+                     " (or baseline it with a comment explaining why raw "
+                     "representation is required)",
+                 false});
+          }
+        }
+      }
+
+      // Unwrap-compute-rewrap: Duration::nanos(... x.ns() ...) and
+      // Time::from_ns(... x.ns() ...) in one expression.
+      if ((t.text == "Duration" || t.text == "Time") && i + 3 < toks.size() &&
+          toks[i + 1].is_punct("::") &&
+          toks[i + 2].kind == TokKind::kIdentifier &&
+          rewrap_maker(toks[i + 2].text) && toks[i + 3].is_punct("(")) {
+        std::size_t close = 0;
+        if (!match_paren(toks, i + 3, &close)) continue;
+        for (std::size_t k = i + 4; k + 2 < close; ++k) {
+          if (toks[k].is_punct(".") &&
+              toks[k + 1].kind == TokKind::kIdentifier &&
+              unwrap_accessor(toks[k + 1].text) &&
+              toks[k + 2].is_punct("(")) {
+            out->push_back(
+                {"units/unwrap-rewrap", f.rel_path, t.line, t.col,
+                 t.text + "::" + toks[i + 2].text + "(...." +
+                     toks[k + 1].text +
+                     "()...) unwraps and rewraps in one expression; express "
+                     "the arithmetic on the strong type instead",
+                 false});
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace quicsteps::analyze

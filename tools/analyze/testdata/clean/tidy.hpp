@@ -1,0 +1,18 @@
+// Fixture: a file the analyzer must pass untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace quicsteps_fixture {
+
+struct Tidy {
+  std::int64_t count = 0;       // no unit suffix
+  std::vector<int> values;
+  std::map<int, int> ordered;   // ordered container is fine
+
+  std::int64_t total_ns() const { return count; }  // accessor idiom
+};
+
+}  // namespace quicsteps_fixture

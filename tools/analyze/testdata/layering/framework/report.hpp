@@ -1,0 +1,4 @@
+// Fixture: top-of-stack header; clean on its own.
+#pragma once
+
+inline int report_id() { return 2; }

@@ -1,0 +1,4 @@
+// Fixture: directory not declared in layers.json — layering/unknown-layer.
+#pragma once
+
+inline int thing_id() { return 5; }

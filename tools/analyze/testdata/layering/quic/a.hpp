@@ -1,0 +1,6 @@
+// Fixture: include cycle, half one — layering/cycle.
+#pragma once
+
+#include "quic/b.hpp"
+
+inline int a_id() { return 3; }

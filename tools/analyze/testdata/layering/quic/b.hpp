@@ -1,0 +1,6 @@
+// Fixture: include cycle, half two.
+#pragma once
+
+#include "quic/a.hpp"
+
+inline int b_id() { return 4; }

@@ -1,0 +1,6 @@
+// Fixture: sim/ reaching up into framework/ — layering/upward-include.
+#pragma once
+
+#include "framework/report.hpp"
+
+inline int clock_id() { return 1; }

@@ -1,0 +1,17 @@
+// Fixture: libc RNG violations.
+#include <cstdlib>
+
+int noise() {
+  srand(7);           // line 5: determinism/libc-rand
+  return rand() % 6;  // line 6: determinism/libc-rand
+}
+
+double noise_f() {
+  return drand48();  // line 10: determinism/libc-rand
+}
+
+// rng.rand() is a member call, not libc — must NOT be flagged.
+template <typename R>
+int ok(R& rng) {
+  return rng.rand();
+}

@@ -1,0 +1,19 @@
+// Fixture: wall-clock violations. Line numbers are pinned by
+// tests/analyze_test.cpp — append, never insert.
+#include <chrono>
+#include <ctime>
+
+long long host_nanos() {
+  auto t = std::chrono::steady_clock::now();  // line 7: determinism/wall-clock
+  (void)t;
+  return time(nullptr);  // line 9: determinism/wall-clock
+}
+
+// A comment mentioning std::chrono and rand() must NOT be a violation.
+const char* label() {
+  return "calls time() and clock() by name";  // strings are exempt too
+}
+
+void stamp(struct timespec* ts) {
+  clock_gettime(0, ts);  // line 18: determinism/wall-clock
+}

@@ -1,0 +1,2 @@
+// Fixture: header without #pragma once -> determinism/include-guard at 1:1.
+inline int answer() { return 42; }

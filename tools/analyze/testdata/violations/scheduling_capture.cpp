@@ -1,0 +1,30 @@
+// Fixture: reference captures in scheduled lambdas.
+#include "sim/event_loop.hpp"
+
+namespace sim = quicsteps::sim;
+
+void arm(sim::EventLoop& loop) {
+  int local = 3;
+  loop.schedule_after(sim::Duration::millis(1),
+                      [&local] { (void)local; });  // line 9: ref-capture
+  loop.schedule_at(sim::Time::zero(), [&] {});     // line 10: ref-capture
+  // Value and pointer captures are clean:
+  int* p = &local;
+  loop.schedule_after(sim::Duration::millis(2), [p] { (void)*p; });
+  loop.schedule_at(sim::Time::zero(), [local] { (void)local; });
+}
+
+struct Timers {
+  sim::EventLoop* loop;
+  int hits = 0;
+  void arm_member() {
+    // [this] is a pointer capture — clean.
+    loop->schedule_after(sim::Duration::millis(1), [this] { ++hits; });
+  }
+};
+
+void subscripts(sim::EventLoop& loop, int (&starts)[2], bool a, bool b) {
+  // Subscript brackets and && inside them must not read as captures.
+  loop.schedule_after(sim::Duration::millis(starts[a && b ? 0 : 1]),
+                      [] {});
+}

@@ -1,0 +1,15 @@
+// Fixture: raw numeric declarations with unit-suffixed names.
+#include <cstdint>
+
+struct Sample {
+  std::int64_t stamp_ns = 0;  // line 5: units/raw-time-type
+  double rate_bps = 0.0;      // line 6: units/raw-rate-type
+  std::int64_t count = 0;     // no suffix: clean
+};
+
+void push(std::uint64_t gap_us);  // line 10: units/raw-time-type (parameter)
+
+// Accessor *named* like a unit is the strong-type idiom, not a raw value.
+struct Wrapped {
+  std::int64_t value_ns() const { return 0; }  // clean: function declaration
+};

@@ -1,0 +1,16 @@
+// Fixture: unwrap-compute-rewrap round trips.
+#include "sim/time.hpp"
+
+namespace sim = quicsteps::sim;
+
+sim::Duration pad(sim::Duration d) {
+  return sim::Duration::nanos(d.ns() + 7);  // line 7: units/unwrap-rewrap
+}
+
+sim::Time shift(sim::Time t, sim::Duration d) {
+  return sim::Time::from_ns(t.ns() + d.ns());  // line 11: units/unwrap-rewrap
+}
+
+sim::Duration fine(sim::Duration d) {
+  return d + sim::Duration::nanos(7);  // clean: no unwrap inside the maker
+}

@@ -9,7 +9,10 @@
 #   2. ASan + UBSan build             -> ctest -L tier1-asan
 #   3. TSan build                     -> ctest -L tier1-tsan (tier-1 plus
 #                                        the worker-pool framework tests)
-#   4. nondeterminism lint            -> tools/quicsteps_lint.py over src/
+#   4. static analysis                -> quicsteps-analyze over src/
+#                                        (layering / units / determinism /
+#                                        scheduling), plus the legacy lint
+#                                        wrapper CLI
 #   5. clang-tidy (when installed)    -> `tidy` target, .clang-tidy profile
 #
 # Build trees live in build-check/, build-asan/, build-tsan/ next to the
@@ -55,7 +58,10 @@ step "3/5 TSan tier-1 + ParallelRunner framework tests"
 configure_and_build build-tsan "-DQUICSTEPS_SANITIZE=thread"
 ctest --test-dir "$ROOT/build-tsan" -L tier1-tsan --output-on-failure --no-tests=error -j "$JOBS"
 
-step "4/5 nondeterminism lint"
+step "4/5 static analysis (quicsteps-analyze + lint wrapper)"
+cmake --build "$ROOT/build-check" --target analyze
+# The legacy lint CLI is now a thin wrapper over the analyzer's
+# determinism family; run it too so its interface stays covered.
 cmake --build "$ROOT/build-check" --target lint
 
 step "5/5 clang-tidy (no-op when not installed)"

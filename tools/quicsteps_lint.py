@@ -1,94 +1,60 @@
 #!/usr/bin/env python3
-"""Nondeterminism lint for the quicsteps simulation sources.
+"""Nondeterminism lint for the quicsteps simulation sources (wrapper).
 
-Every published number in this repository is a pure function of (config,
-seed); that only holds if simulation code never consults a wall clock, the
-libc RNG, or a hash container whose iteration order depends on the
-allocator. This lint bans those patterns from src/ outright:
+Historically this script owned the regex rules banning wall clocks, libc
+rand, std::random_device, unordered containers, and thread sleeps from
+src/. Those rules now live in the in-repo C++ static analyzer
+(tools/analyze, rule family determinism/*) together with the layering,
+unit-safety, and scheduling rules — one engine owns every invariant. This
+wrapper keeps the historical CLI stable (`quicsteps_lint.py [--root R]
+[--allowlist F] [PATHS...]`, exit 0 clean / 1 violations / 2 bad
+invocation) and execs quicsteps-analyze.
 
-  wall-clock        std::chrono (system_clock/steady_clock/...), time(),
-                    clock(), gettimeofday, clock_gettime — simulated time
-                    comes from sim::Time / the EventLoop, never the host.
-  libc-rand         rand(), srand(), *rand48 — all modelled noise draws
-                    from the seeded sim::Rng.
-  random-device     std::random_device — nondeterministic by definition.
-  unordered-container
-                    std::unordered_{map,set,multimap,multiset} — iteration
-                    order is allocator/libc++-dependent; anything that
-                    feeds output or event order from one is a heisenbug.
-                    Use std::map, a sorted vector, or net::CountersTable.
-  thread-sleep      std::this_thread::sleep_* — wall-clock waiting has no
-                    place in a discrete-event simulation.
-  include-guard     every header must open with #pragma once.
+Old allowlist entries ("<path>:<rule>") are translated on the fly to the
+analyzer's baseline format ("<path>:determinism/<rule>"); permanent
+waivers belong in tools/analyze/baseline.txt.
 
-Legitimate exceptions (none today) go in tools/lint_allowlist.txt as
-"<path-relative-to-repo>:<rule>" lines; everything else is a hard failure.
-
-Usage: quicsteps_lint.py [--root REPO_ROOT] [--allowlist FILE] [PATHS...]
-Exit status: 0 clean, 1 violations found, 2 bad invocation.
+Build the analyzer first if needed:
+    cmake --build build --target quicsteps-analyze
 """
 
 import argparse
-import re
+import glob
+import os
+import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
-# rule name -> compiled pattern matched against comment- and string-stripped
-# source lines.
-RULES = {
-    "wall-clock": re.compile(
-        r"std::chrono\b|\btime\s*\(|\bclock\s*\(|\bgettimeofday\b|\bclock_gettime\b"
-    ),
-    "libc-rand": re.compile(r"\brand\s*\(|\bsrand\s*\(|\b[dlm]rand48\b"),
-    "random-device": re.compile(r"std::random_device\b"),
-    "unordered-container": re.compile(
-        r"std::unordered_(map|set|multimap|multiset)\b"
-    ),
-    "thread-sleep": re.compile(r"std::this_thread::sleep_(for|until)\b"),
+# Historic rule names -> analyzer rule IDs.
+RULE_MAP = {
+    "wall-clock": "determinism/wall-clock",
+    "libc-rand": "determinism/libc-rand",
+    "random-device": "determinism/random-device",
+    "unordered-container": "determinism/unordered-container",
+    "thread-sleep": "determinism/thread-sleep",
+    "include-guard": "determinism/include-guard",
 }
 
-HEADER_SUFFIXES = {".hpp", ".h"}
-SOURCE_SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
 
-STRING_OR_CHAR = re.compile(
-    r'"(?:[^"\\]|\\.)*"|' r"'(?:[^'\\]|\\.)*'"
-)
-
-
-def strip_strings_and_comments(text):
-    """Blanks out string/char literals and comments, preserving line
-    structure, so a comment *mentioning* rand() is not a violation."""
-    # Literals first: "// not a comment" inside a string must not hide code
-    # after it, and comment markers inside literals must not eat lines.
-    text = STRING_OR_CHAR.sub(lambda m: '"' + " " * (len(m.group()) - 2) + '"',
-                              text)
-    out = []
-    i, n = 0, len(text)
-    in_block = False
-    while i < n:
-        if in_block:
-            if text.startswith("*/", i):
-                in_block = False
-                i += 2
-            else:
-                out.append(text[i] if text[i] == "\n" else " ")
-                i += 1
-        elif text.startswith("/*", i):
-            in_block = True
-            i += 2
-        elif text.startswith("//", i):
-            while i < n and text[i] != "\n":
-                i += 1
-        else:
-            out.append(text[i])
-            i += 1
-    return "".join(out)
+def find_analyzer(root, explicit):
+    if explicit:
+        return explicit
+    env = os.environ.get("QUICSTEPS_ANALYZE")
+    if env:
+        return env
+    candidates = glob.glob(str(root / "build*" / "tools" / "analyze" /
+                               "quicsteps-analyze"))
+    candidates = [c for c in candidates if os.access(c, os.X_OK)]
+    if candidates:
+        # Prefer the most recently built binary.
+        return max(candidates, key=lambda c: os.stat(c).st_mtime)
+    return None
 
 
-def load_allowlist(path):
-    allowed = set()
-    if not path.is_file():
-        return allowed
+def translate_allowlist(path):
+    """Old-format allowlist -> analyzer baseline lines (or None if empty)."""
+    lines = []
     for raw in path.read_text().splitlines():
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -98,28 +64,10 @@ def load_allowlist(path):
                   "(want <path>:<rule>)", file=sys.stderr)
             sys.exit(2)
         file_part, rule = line.rsplit(":", 1)
-        if rule not in RULES and rule != "include-guard":
-            print(f"{path}: unknown rule {rule!r} in {raw!r}", file=sys.stderr)
-            sys.exit(2)
-        allowed.add((file_part.strip(), rule))
-    return allowed
-
-
-def lint_file(path, rel, allowed):
-    violations = []
-    text = path.read_text(encoding="utf-8", errors="replace")
-
-    if path.suffix in HEADER_SUFFIXES and "#pragma once" not in text:
-        if (rel, "include-guard") not in allowed:
-            violations.append((rel, 1, "include-guard",
-                               "header lacks #pragma once"))
-
-    stripped = strip_strings_and_comments(text)
-    for lineno, line in enumerate(stripped.splitlines(), start=1):
-        for rule, pattern in RULES.items():
-            if pattern.search(line) and (rel, rule) not in allowed:
-                violations.append((rel, lineno, rule, line.strip()))
-    return violations
+        rule = rule.strip()
+        mapped = RULE_MAP.get(rule, rule)  # pass analyzer IDs through as-is
+        lines.append(f"{file_part.strip()}:{mapped}")
+    return lines
 
 
 def main(argv):
@@ -129,43 +77,44 @@ def main(argv):
                         help="repository root (default: the repo this "
                              "script lives in)")
     parser.add_argument("--allowlist", type=Path, default=None,
-                        help="allowlist file (default: "
-                             "tools/lint_allowlist.txt under --root)")
+                        help="legacy allowlist file; entries are translated "
+                             "into analyzer baseline entries")
+    parser.add_argument("--analyzer", type=Path, default=None,
+                        help="path to the quicsteps-analyze binary "
+                             "(default: $QUICSTEPS_ANALYZE or the newest "
+                             "build*/tools/analyze/quicsteps-analyze)")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to lint "
                              "(default: <root>/src)")
     args = parser.parse_args(argv)
 
     root = args.root.resolve()
-    allowlist_path = args.allowlist or root / "tools" / "lint_allowlist.txt"
-    allowed = load_allowlist(allowlist_path)
+    analyzer = find_analyzer(root, args.analyzer)
+    if not analyzer or not Path(analyzer).exists():
+        print("quicsteps_lint: quicsteps-analyze binary not found; build it "
+              "with `cmake --build build --target quicsteps-analyze` or set "
+              "QUICSTEPS_ANALYZE", file=sys.stderr)
+        return 2
 
-    targets = args.paths or [root / "src"]
-    files = []
-    for target in targets:
-        target = target.resolve()
-        if target.is_dir():
-            files.extend(p for p in sorted(target.rglob("*"))
-                         if p.suffix in SOURCE_SUFFIXES)
-        elif target.is_file():
-            files.append(target)
-        else:
-            print(f"quicsteps_lint: no such path: {target}", file=sys.stderr)
-            return 2
+    cmd = [str(analyzer), "--root", str(root)]
+    default_baseline = root / "tools" / "analyze" / "baseline.txt"
+    tmp = None
+    if args.allowlist is not None and args.allowlist.is_file():
+        extra = translate_allowlist(args.allowlist)
+        if default_baseline.is_file():
+            cmd += ["--baseline", str(default_baseline)]
+        tmp = tempfile.NamedTemporaryFile(
+            "w", suffix=".baseline", delete=False)
+        tmp.write("\n".join(extra) + "\n")
+        tmp.close()
+        cmd += ["--baseline", tmp.name]
+    cmd += [str(p) for p in args.paths]
 
-    violations = []
-    for path in files:
-        try:
-            rel = str(path.relative_to(root))
-        except ValueError:
-            rel = str(path)
-        violations.extend(lint_file(path, rel, allowed))
-
-    for rel, lineno, rule, detail in violations:
-        print(f"{rel}:{lineno}: [{rule}] {detail}")
-    print(f"quicsteps_lint: {len(files)} files, "
-          f"{len(violations)} violation(s)", file=sys.stderr)
-    return 1 if violations else 0
+    try:
+        return subprocess.call(cmd)
+    finally:
+        if tmp is not None:
+            os.unlink(tmp.name)
 
 
 if __name__ == "__main__":
