@@ -201,6 +201,71 @@ void BM_CaptureAnalysisSinglePass(benchmark::State& state) {
 }
 BENCHMARK(BM_CaptureAnalysisSinglePass)->Arg(100000);
 
+std::vector<net::Packet> synthetic_multi_flow_capture(int n, int flows) {
+  // Per-flow trains of 16 packets, like real pacing at a shared bottleneck:
+  // the demux's last-hit cache sees long runs, not per-packet flow churn.
+  std::vector<net::Packet> capture;
+  capture.reserve(static_cast<std::size_t>(n));
+  sim::Time t;
+  for (int i = 0; i < n; ++i) {
+    net::Packet pkt = bench_packet(static_cast<std::uint64_t>(i));
+    pkt.flow = static_cast<std::uint32_t>(10 + (i / 16) % flows);
+    pkt.wire_time = t;
+    t += (i % 7 == 0) ? 1_ms : 12_us;
+    capture.push_back(std::move(pkt));
+  }
+  return capture;
+}
+
+void BM_FlowDemuxPerFlowRescan(benchmark::State& state) {
+  // What run_duel used to do, generalized to N flows: one full capture
+  // walk per flow, filtering on the flow id. O(N * packets).
+  const int flows = static_cast<int>(state.range(1));
+  auto capture =
+      synthetic_multi_flow_capture(static_cast<int>(state.range(0)), flows);
+  for (auto _ : state) {
+    for (int f = 0; f < flows; ++f) {
+      metrics::CaptureAnalyzer::Config config;
+      config.flow = static_cast<std::uint32_t>(10 + f);
+      metrics::CaptureAnalyzer analyzer(config);
+      for (const auto& pkt : capture) {
+        if (pkt.flow == config.flow) analyzer.add(pkt);
+      }
+      benchmark::DoNotOptimize(analyzer.finish().wire_data_packets);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowDemuxPerFlowRescan)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8});
+
+void BM_FlowDemuxSinglePass(benchmark::State& state) {
+  // The fabric's FlowCaptureDemux: one walk routes every packet to its
+  // flow's analyzer. O(packets), independent of the flow count.
+  const int flows = static_cast<int>(state.range(1));
+  auto capture =
+      synthetic_multi_flow_capture(static_cast<int>(state.range(0)), flows);
+  for (auto _ : state) {
+    metrics::FlowCaptureDemux demux;
+    for (int f = 0; f < flows; ++f) {
+      demux.add_flow(static_cast<std::uint32_t>(10 + f));
+    }
+    demux.analyze(capture);
+    for (std::size_t slot = 0; slot < demux.flow_count(); ++slot) {
+      benchmark::DoNotOptimize(demux.finish(slot).wire_data_packets);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlowDemuxSinglePass)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8});
+
 std::vector<framework::ExperimentConfig> bench_grid() {
   std::vector<framework::ExperimentConfig> grid;
   for (auto stack :

@@ -30,7 +30,10 @@
 #include "framework/aggregate.hpp"
 #include "framework/artifacts.hpp"
 #include "framework/duel.hpp"
+#include "framework/endpoint.hpp"
 #include "framework/experiment.hpp"
+#include "framework/flows.hpp"
+#include "framework/network.hpp"
 #include "framework/parallel.hpp"
 #include "framework/report.hpp"
 #include "framework/runner.hpp"
@@ -52,6 +55,7 @@
 #include "metrics/stats.hpp"
 #include "metrics/train_analyzer.hpp"
 #include "net/data_rate.hpp"
+#include "net/flow_table.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/wire_tap.hpp"

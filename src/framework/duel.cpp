@@ -1,236 +1,28 @@
 #include "framework/duel.hpp"
 
-#include <memory>
 #include <utility>
 
-#include "framework/runner.hpp"
-#include "kernel/nic.hpp"
-#include "kernel/qdisc_etf.hpp"
-#include "kernel/qdisc_fifo.hpp"
-#include "kernel/qdisc_fq.hpp"
-#include "kernel/qdisc_fq_codel.hpp"
-#include "kernel/qdisc_netem.hpp"
-#include "kernel/qdisc_tbf.hpp"
-#include "kernel/udp_socket.hpp"
-#include "net/wire_tap.hpp"
-#include "quic/client.hpp"
-#include "stacks/event_loop_model.hpp"
-#include "tcp/tcp_client.hpp"
-#include "tcp/tcp_server.hpp"
+#include "framework/flows.hpp"
 
 namespace quicsteps::framework {
 
-namespace {
-
-/// One sender host plus its matching client endpoint (QUIC or TCP).
-struct Flow {
-  std::uint32_t id;
-  std::unique_ptr<kernel::OsModel> os;
-  std::unique_ptr<kernel::Nic> nic;
-  std::unique_ptr<kernel::Qdisc> qdisc;
-  std::unique_ptr<stacks::StackServer> quic_server;
-  std::unique_ptr<tcp::TcpServer> tcp_server;
-  std::unique_ptr<quic::Client> quic_client;
-  std::unique_ptr<tcp::TcpClient> tcp_client;
-
-  void start() {
-    if (quic_server != nullptr) {
-      quic_server->start();
-    } else {
-      tcp_server->start();
-    }
-  }
-  void on_ack(const net::Packet& pkt) {
-    if (quic_server != nullptr) {
-      quic_server->on_datagram(pkt);
-    } else {
-      tcp_server->on_datagram(pkt);
-    }
-  }
-  void on_data(const net::Packet& pkt) {
-    if (quic_client != nullptr) {
-      quic_client->on_datagram(pkt);
-    } else {
-      tcp_client->on_datagram(pkt);
-    }
-  }
-};
-
-std::unique_ptr<kernel::Qdisc> make_qdisc(sim::EventLoop& loop,
-                                          const ExperimentConfig& config,
-                                          kernel::OsModel& os,
-                                          net::PacketSink* downstream) {
-  switch (config.topology.server_qdisc) {
-    case QdiscKind::kFifo:
-      return std::make_unique<kernel::FifoQdisc>(
-          loop, kernel::FifoQdisc::Config{}, downstream);
-    case QdiscKind::kFqCodel: {
-      kernel::FqCodelQdisc::Config cfg;
-      cfg.drain_rate = config.topology.server_nic_rate;
-      return std::make_unique<kernel::FqCodelQdisc>(loop, cfg, downstream);
-    }
-    case QdiscKind::kFq:
-      return std::make_unique<kernel::FqQdisc>(
-          loop, kernel::FqQdisc::Config{}, os, downstream);
-    case QdiscKind::kEtf:
-    case QdiscKind::kEtfOffload:
-      return std::make_unique<kernel::EtfQdisc>(loop, config.topology.etf,
-                                                os, downstream);
-  }
-  return nullptr;
-}
-
-void fill_run_result(RunResult& result, const Flow& flow,
-                     const std::vector<net::Packet>& capture) {
-  const std::uint32_t id = flow.id;
-  metrics::GapAnalyzer gaps({.flow = id});
-  metrics::TrainAnalyzer trains({.flow = id});
-  metrics::PrecisionAnalyzer precision({.flow = id});
-  result.gaps = gaps.analyze(capture);
-  result.trains = trains.analyze(capture);
-  result.precision = precision.analyze(capture);
-  result.wire_data_packets =
-      static_cast<std::int64_t>(gaps.data_times(capture).size());
-  if (flow.quic_server != nullptr) {
-    const auto& conn = flow.quic_server->connection();
-    result.packets_sent = conn.stats().packets_sent;
-    result.packets_declared_lost = conn.stats().packets_declared_lost;
-    result.retransmissions = conn.stats().packets_retransmitted;
-    result.completed = flow.quic_client->complete();
-    result.goodput = metrics::compute_goodput(
-        flow.quic_client->stats().payload_bytes_received,
-        flow.quic_client->stats().first_packet_time,
-        flow.quic_client->stats().completion_time);
-  } else {
-    const auto& conn = flow.tcp_server->connection();
-    result.packets_sent = conn.stats().segments_sent;
-    result.packets_declared_lost = conn.stats().segments_declared_lost;
-    result.retransmissions = conn.stats().segments_retransmitted;
-    result.completed = flow.tcp_client->complete();
-    result.goodput = metrics::compute_goodput(
-        flow.tcp_client->stats().payload_bytes_received,
-        flow.tcp_client->stats().first_packet_time,
-        flow.tcp_client->stats().completion_time);
-  }
-}
-
-}  // namespace
-
 DuelResult run_duel(const DuelConfig& config) {
-  sim::EventLoop loop;
-  sim::Rng rng(config.seed);
-
-  const TopologyConfig& topo = config.a.topology;
-  kernel::OsModel client_os(topo.client_os, rng.fork(100));
-
-  // Shared path pieces, downstream-first. Flow endpoints attach later via
-  // the dispatch sinks.
-  Flow flows[2];
-  net::CallbackSink to_clients([&flows](net::Packet pkt) {
-    Flow& flow = pkt.flow == flows[0].id ? flows[0] : flows[1];
-    flow.on_data(pkt);
-  });
-  kernel::UdpReceiver client_receiver(loop, client_os,
-                                      topo.client_rcvbuf_bytes,
-                                      [&to_clients](net::Packet pkt) {
-                                        to_clients.deliver(std::move(pkt));
-                                      });
-  kernel::NetemQdisc data_netem(
-      loop,
-      {.delay = topo.path_delay_one_way,
-       .limit_packets = topo.netem_limit_packets},
-      rng.fork(101), &client_receiver);
-  kernel::TbfQdisc bottleneck(loop,
-                              {.rate = topo.bottleneck_rate,
-                               .burst_bytes = topo.tbf_burst_bytes,
-                               .limit_bytes = topo.bottleneck_buffer_bytes},
-                              &data_netem);
-  net::WireTap tap(loop, &bottleneck);
-
-  net::CallbackSink to_servers([&flows](net::Packet pkt) {
-    Flow& flow = pkt.flow == flows[0].id ? flows[0] : flows[1];
-    flow.on_ack(pkt);
-  });
-  kernel::OsModel server_recv_os(topo.server_os, rng.fork(102));
-  kernel::UdpReceiver server_receiver(loop, server_recv_os,
-                                      topo.client_rcvbuf_bytes,
-                                      [&to_servers](net::Packet pkt) {
-                                        to_servers.deliver(std::move(pkt));
-                                      });
-  kernel::NetemQdisc ack_netem(
-      loop,
-      {.delay = topo.path_delay_one_way,
-       .limit_packets = topo.netem_limit_packets},
-      rng.fork(103), &server_receiver);
-
-  // Per-flow sender hosts and client endpoints.
-  const ExperimentConfig* configs[2] = {&config.a, &config.b};
-  for (int i = 0; i < 2; ++i) {
-    Flow& flow = flows[i];
-    const ExperimentConfig& exp = *configs[i];
-    flow.id = static_cast<std::uint32_t>(10 + i);
-    flow.os = std::make_unique<kernel::OsModel>(
-        exp.topology.server_os, rng.fork(200 + static_cast<std::uint64_t>(i)));
-
-    kernel::Nic::Config nic_cfg;
-    nic_cfg.line_rate = exp.topology.server_nic_rate;
-    nic_cfg.launch_time =
-        exp.topology.server_qdisc == QdiscKind::kEtfOffload;
-    flow.nic = std::make_unique<kernel::Nic>(loop, nic_cfg, *flow.os, &tap);
-    flow.qdisc = make_qdisc(loop, exp, *flow.os, flow.nic.get());
-
-    if (exp.stack == StackKind::kTcpTls) {
-      tcp::TcpServer::Config scfg;
-      scfg.connection.total_payload_bytes = exp.payload_bytes;
-      scfg.connection.flow = flow.id;
-      scfg.connection.cc.algorithm = exp.cca;
-      scfg.line_rate = exp.topology.server_nic_rate;
-      flow.tcp_server = std::make_unique<tcp::TcpServer>(loop, scfg,
-                                                         flow.qdisc.get());
-      flow.tcp_client = std::make_unique<tcp::TcpClient>(
-          loop,
-          tcp::TcpClient::Config{.flow = flow.id,
-                                 .expected_payload_bytes = exp.payload_bytes,
-                                 .ack = {}},
-          &ack_netem);
-    } else {
-      auto profile = profile_for(exp);
-      quic::Connection::Config conn_cfg;
-      conn_cfg.total_payload_bytes = exp.payload_bytes;
-      conn_cfg.flow = flow.id;
-      conn_cfg.flow_control_credit = profile.flow_control_credit;
-      flow.quic_server = std::make_unique<stacks::StackServer>(
-          loop, *flow.os, profile, conn_cfg, flow.qdisc.get());
-      flow.quic_client = std::make_unique<quic::Client>(
-          loop,
-          quic::Client::Config{.flow = flow.id,
-                               .ack = {},
-                               .expected_payload_bytes = exp.payload_bytes,
-                               .flow_control_credit =
-                                   profile.flow_control_credit},
-          &ack_netem);
-    }
-  }
-
-  flows[0].start();
-  // Pointer capture: `flows` outlives run_until below, but the scheduled
-  // callback must not hold a reference to a local by the analyzer's
-  // dangling-callback rule (scheduling/ref-capture).
-  Flow* flow_b = &flows[1];
-  loop.schedule_after(config.b_start_delay, [flow_b] { flow_b->start(); });
-  loop.run_until(sim::Time::zero() + run_deadline(config.a) +
-                 config.b_start_delay);
+  // The N=2 instantiation of the flow fabric: no hand-built path here.
+  // run_flows also fixes two old duel bugs — the run deadline covers both
+  // flows (not just A's budget plus B's delay), and an unregistered flow
+  // id trips an audit instead of being silently routed to flow B.
+  MultiFlowConfig flows;
+  flows.seed = config.seed;
+  flows.flows.push_back(FlowSpec{.config = config.a});
+  flows.flows.push_back(
+      FlowSpec{.config = config.b, .start_delay = config.b_start_delay});
+  MultiFlowResult multi = run_flows(flows);
 
   DuelResult result;
-  fill_run_result(result.a, flows[0], tap.capture());
-  fill_run_result(result.b, flows[1], tap.capture());
-  result.bottleneck_drops = bottleneck.counters().packets_dropped;
-  const double ga = result.a.goodput.goodput.mbps();
-  const double gb = result.b.goodput.goodput.mbps();
-  if (ga + gb > 0) {
-    result.fairness =
-        (ga + gb) * (ga + gb) / (2.0 * (ga * ga + gb * gb));
-  }
+  result.a = std::move(multi.flows[0]);
+  result.b = std::move(multi.flows[1]);
+  result.fairness = multi.fairness;
+  result.bottleneck_drops = multi.bottleneck_drops;
   return result;
 }
 

@@ -1,0 +1,55 @@
+// One interface over the three endpoint families an experiment can attach
+// to a sender host: a measured QUIC stack (StackServer + its event-loop
+// quirks), the ideal reference QUIC server, or the kernel TCP baseline.
+//
+// Runner::run_once and run_duel used to each construct these by hand with
+// diverging feature sets (the duel path had no app source, no qlog, no
+// cwnd trace). make_flow_endpoint is now the only place an experiment
+// config turns into transport objects; every caller — single-flow runs,
+// duels, N-flow fairness experiments — gets the same construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "framework/experiment.hpp"
+#include "kernel/os_model.hpp"
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+
+namespace quicsteps::framework {
+
+/// A sender/receiver endpoint pair bound to one flow id.
+class FlowEndpoint {
+ public:
+  virtual ~FlowEndpoint() = default;
+
+  /// Kicks off the transfer (server send loop plus application source).
+  virtual void start() = 0;
+
+  /// Sink for this flow's data packets at the client host (register as
+  /// the flow's data route on the shared path).
+  virtual net::PacketSink& data_ingress() = 0;
+  /// Sink for this flow's ACKs back at the server host.
+  virtual net::PacketSink& ack_ingress() = 0;
+
+  virtual bool complete() const = 0;
+
+  /// Endpoint-side result fields: completion, sender stats, goodput.
+  /// Wire-derived fields (gaps, trains, precision, hash, drops) come from
+  /// the shared tap and are filled by the caller.
+  virtual void fill_result(RunResult& result) const = 0;
+};
+
+/// Builds the endpoint `config` selects. `sender_os` is the host kernel
+/// the stack's syscalls and timers are charged to; `server_egress` is the
+/// host's qdisc; `client_egress` is the shared ACK return path. Cwnd
+/// trace points stream into `live_result` during the run (it must outlive
+/// the endpoint); qlog files are named "<qlog_path>.<seed>".
+std::unique_ptr<FlowEndpoint> make_flow_endpoint(
+    sim::EventLoop& loop, kernel::OsModel& sender_os,
+    const ExperimentConfig& config, std::uint32_t flow_id, std::uint64_t seed,
+    net::PacketSink* server_egress, net::PacketSink* client_egress,
+    RunResult& live_result);
+
+}  // namespace quicsteps::framework

@@ -1,0 +1,217 @@
+#include "framework/flows.hpp"
+
+#include <string>
+#include <utility>
+
+#include "check/audit.hpp"
+#include "check/determinism_hasher.hpp"
+#include "framework/runner.hpp"
+#include "metrics/capture_analysis.hpp"
+
+namespace quicsteps::framework {
+
+namespace {
+
+std::uint32_t default_flow_id(const FlowSpec& spec, std::size_t index,
+                              std::size_t count) {
+  if (spec.id != 0) return spec.id;
+  if (count == 1) {
+    // Runner::run_once's historical convention, load-bearing for the N=1
+    // bit-identity guarantee.
+    return spec.config.stack == StackKind::kTcpTls ? 2u : 1u;
+  }
+  return static_cast<std::uint32_t>(10 + index);
+}
+
+}  // namespace
+
+SenderHost::SenderHost(sim::EventLoop& loop, const FlowSpec& spec,
+                       std::uint32_t flow_id, std::uint64_t seed,
+                       std::unique_ptr<kernel::OsModel> os,
+                       BottleneckPath& path, RunResult& live_result)
+    : flow_id_(flow_id),
+      spec_(spec),
+      os_(std::move(os)),
+      path_(loop, spec_.config.topology, *os_, path.wire_ingress()) {
+  endpoint_ =
+      make_flow_endpoint(loop, *os_, spec_.config, flow_id_, seed,
+                         path_.egress(), path.ack_ingress(), live_result);
+  // Duplicate flow ids trip the flow table's registration audit.
+  path.register_flow(flow_id_, &endpoint_->data_ingress(),
+                     &endpoint_->ack_ingress());
+}
+
+Network::Network(sim::EventLoop& loop, const MultiFlowConfig& config,
+                 sim::Rng& rng, std::vector<RunResult>& live_results)
+    : loop_(loop), deadline_(sim::Time::zero() + flows_deadline(config)) {
+  QUICSTEPS_AUDIT(!config.flows.empty(), "Network needs at least one flow");
+  QUICSTEPS_AUDIT(live_results.size() == config.flows.size(),
+                  "live_results must be sized to the flow count");
+  if (config.flows.empty()) return;
+
+  // Host 0's kernel also runs the shared server-side ACK receiver — as in
+  // the single-flow topology, where the one server OS serves both roles.
+  // Per-host OS salts are 1 + 16*i: host 0 keeps Topology's fork(1) so an
+  // N=1 run is bit-identical to the old wiring, and salts 2-4 stay
+  // reserved for the shared path.
+  auto host0_os = std::make_unique<kernel::OsModel>(
+      config.flows[0].config.topology.server_os, rng.fork(1));
+  path_ = std::make_unique<BottleneckPath>(
+      loop, config.flows[0].config.topology, rng, *host0_os);
+
+  hosts_.reserve(config.flows.size());
+  for (std::size_t i = 0; i < config.flows.size(); ++i) {
+    FlowSpec spec = config.flows[i];
+    const std::uint32_t id = default_flow_id(spec, i, config.flows.size());
+    if (config.flows.size() > 1 && !spec.config.qlog_path.empty()) {
+      // One qlog file per flow, not N writers on one file.
+      spec.config.qlog_path += ".flow" + std::to_string(id);
+    }
+    auto os = i == 0 ? std::move(host0_os)
+                     : std::make_unique<kernel::OsModel>(
+                           spec.config.topology.server_os,
+                           rng.fork(1 + 16 * static_cast<std::uint64_t>(i)));
+    hosts_.push_back(std::make_unique<SenderHost>(
+        loop, spec, id, config.seed, std::move(os), *path_, live_results[i]));
+  }
+}
+
+void Network::start() {
+  for (auto& host : hosts_) {
+    if (host->start_delay().is_zero()) {
+      host->start();
+      continue;
+    }
+    // Pointer capture: the host outlives the run loop, but a scheduled
+    // callback must not hold a reference to a local by the analyzer's
+    // dangling-callback rule (scheduling/ref-capture).
+    SenderHost* delayed = host.get();
+    loop_.schedule_after(host->start_delay(), [delayed] { delayed->start(); });
+  }
+}
+
+net::CountersTable Network::counters_table() const {
+  net::CountersTable table;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    const std::string prefix =
+        hosts_.size() == 1 ? std::string("qdisc/")
+                           : "host" + std::to_string(i) + "/qdisc/";
+    table.add(prefix + hosts_[i]->qdisc().name(), hosts_[i]->qdisc().counters());
+  }
+  path_->add_counters(table);
+  return table;
+}
+
+check::ConservationAuditor Network::conservation_auditor() const {
+  check::ConservationAuditor auditor;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    const std::string prefix =
+        hosts_.size() == 1 ? std::string("qdisc/")
+                           : "host" + std::to_string(i) + "/qdisc/";
+    auditor.add_stage(prefix + hosts_[i]->qdisc().name(),
+                      hosts_[i]->qdisc().counters());
+  }
+  path_->add_conservation_stages(auditor);
+  return auditor;
+}
+
+double jain_index(const std::vector<double>& xs) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+sim::Duration flows_deadline(const MultiFlowConfig& config) {
+  // Every flow gets its full budget, offset by its start delay — the max,
+  // not flow A's budget plus B's delay (which truncated a larger flow B).
+  sim::Duration deadline = sim::Duration::zero();
+  for (const FlowSpec& spec : config.flows) {
+    const sim::Duration flow_deadline = spec.start_delay +
+                                        run_deadline(spec.config) +
+                                        workload_duration(spec.config);
+    if (flow_deadline > deadline) deadline = flow_deadline;
+  }
+  return deadline;
+}
+
+MultiFlowResult run_flows(const MultiFlowConfig& config) {
+  MultiFlowResult result;
+  if (config.flows.empty()) return result;
+
+  sim::EventLoop loop;
+  sim::Rng rng(config.seed);
+  result.flows.resize(config.flows.size());
+  Network net(loop, config, rng, result.flows);
+  const std::size_t n = net.flow_count();
+
+  // All per-flow metrics derive from the shared tap; one incremental pass
+  // demuxes each departure into its flow's analyzer, determinism hash,
+  // and (when requested) retained capture — the capture is walked once
+  // regardless of N. In audit builds the same pass checks that wire time
+  // never goes backwards.
+  metrics::FlowCaptureDemux demux;
+  std::vector<check::DeterminismHasher> hashers(n);
+  std::vector<std::shared_ptr<std::vector<net::Packet>>> captures(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    demux.add_flow(net.host(i).flow_id());
+    if (config.flows[i].config.keep_capture) {
+      captures[i] = std::make_shared<std::vector<net::Packet>>();
+    }
+  }
+  check::MonotonicityAuditor tap_monotone("wire-tap departure time");
+  std::int64_t tap_packets = 0;
+  net.path().tap().set_on_packet([&demux, &hashers, &captures, &tap_monotone,
+                                  &tap_packets](const net::Packet& pkt) {
+    ++tap_packets;
+    const int slot = demux.add(pkt);
+    if (slot >= 0) {
+      hashers[static_cast<std::size_t>(slot)].add_i64(pkt.wire_time.ns());
+      if (captures[static_cast<std::size_t>(slot)] != nullptr) {
+        captures[static_cast<std::size_t>(slot)]->push_back(pkt);
+      }
+    }
+    if constexpr (check::kAuditEnabled) {
+      tap_monotone.observe(pkt.wire_time.ns());
+    }
+  });
+
+  net.start();
+  loop.run_until(net.deadline());
+
+  // Post-run invariants: every stage's books balance, and the tap saw
+  // exactly what entered the bottleneck (they are wired back-to-back).
+  if constexpr (check::kAuditEnabled) {
+    net.conservation_auditor().audit();
+    QUICSTEPS_AUDIT(net.path().bottleneck().counters().packets_in ==
+                        tap_packets,
+                    "tap and bottleneck disagree on wire packet count");
+  }
+
+  std::vector<double> goodputs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RunResult& flow_result = result.flows[i];
+    net.host(i).endpoint().fill_result(flow_result);
+    metrics::CaptureAnalysis analysis = demux.finish(i);
+    flow_result.gaps = std::move(analysis.gaps);
+    flow_result.trains = std::move(analysis.trains);
+    flow_result.precision = std::move(analysis.precision);
+    flow_result.wire_data_packets = analysis.wire_data_packets;
+    flow_result.wire_hash = hashers[i].digest();
+    flow_result.dropped_packets =
+        net.path().bottleneck_drops(net.host(i).flow_id());
+    if (captures[i] != nullptr) {
+      flow_result.capture = std::move(captures[i]);
+    }
+    goodputs[i] = flow_result.goodput.goodput.mbps();
+  }
+  result.fairness = jain_index(goodputs);
+  result.bottleneck_drops = net.path().bottleneck_drops();
+  return result;
+}
+
+}  // namespace quicsteps::framework

@@ -1,0 +1,131 @@
+// N competing flows over one shared bottleneck — the experiment family
+// the paper defers (Section 3.4) and the fabric's reason to exist.
+//
+//   SenderHost  one sender: its own OS model, kernel egress (SenderPath:
+//               qdisc + NIC), and endpoint (QUIC stack, ideal, or TCP),
+//               registered on the shared path under its flow id.
+//   Network     N SenderHosts composed onto one BottleneckPath, with
+//               per-flow start delays (a flow can join an ongoing race).
+//   run_flows   builds a Network, runs every transfer to its deadline,
+//               and demuxes the shared tap into per-flow metrics in a
+//               single pass. Runner::run_once is the N=1 call (and stays
+//               bit-identical to the historical single-flow wiring);
+//               run_duel is the N=2 call.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "framework/endpoint.hpp"
+#include "framework/experiment.hpp"
+#include "framework/network.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/random.hpp"
+
+namespace quicsteps::framework {
+
+struct FlowSpec {
+  ExperimentConfig config;
+  /// Delay before this flow's sender starts.
+  sim::Duration start_delay = sim::Duration::zero();
+  /// Wire flow id; 0 = auto-assign. A single flow keeps Runner::run_once's
+  /// historical ids (QUIC=1, TCP=2) so N=1 runs are bit-identical to the
+  /// old wiring; multi-flow runs get ids 10, 11, ...
+  std::uint32_t id = 0;
+};
+
+struct MultiFlowConfig {
+  /// Topology parameters (bottleneck, RTT, buffers) are taken from
+  /// flows[0].config.topology; each sender gets its own qdisc/NIC/OS per
+  /// its own config.
+  std::vector<FlowSpec> flows;
+  std::uint64_t seed = 1;
+};
+
+struct MultiFlowResult {
+  /// Per-flow results, in flows[] order. dropped_packets holds the drops
+  /// attributed to that flow at the shared bottleneck.
+  std::vector<RunResult> flows;
+  /// Jain's fairness index over the per-flow goodputs (1.0 = perfectly
+  /// fair; 1/N = one flow took everything). Zero when nothing moved.
+  double fairness = 0.0;
+  /// Total bottleneck drops across all flows.
+  std::int64_t bottleneck_drops = 0;
+};
+
+/// One sender host: OS + kernel egress chain + endpoint, attached to the
+/// shared path under `flow_id`.
+class SenderHost {
+ public:
+  SenderHost(sim::EventLoop& loop, const FlowSpec& spec,
+             std::uint32_t flow_id, std::uint64_t seed,
+             std::unique_ptr<kernel::OsModel> os, BottleneckPath& path,
+             RunResult& live_result);
+
+  /// Starts the endpoint (server send loop + application source).
+  void start() { endpoint_->start(); }
+
+  std::uint32_t flow_id() const { return flow_id_; }
+  sim::Duration start_delay() const { return spec_.start_delay; }
+  const ExperimentConfig& config() const { return spec_.config; }
+  kernel::OsModel& os() { return *os_; }
+  const kernel::Qdisc& qdisc() const { return path_.qdisc(); }
+  FlowEndpoint& endpoint() { return *endpoint_; }
+  const FlowEndpoint& endpoint() const { return *endpoint_; }
+
+ private:
+  std::uint32_t flow_id_;
+  FlowSpec spec_;
+  std::unique_ptr<kernel::OsModel> os_;
+  SenderPath path_;
+  std::unique_ptr<FlowEndpoint> endpoint_;
+};
+
+/// N sender hosts on one shared bottleneck path.
+class Network {
+ public:
+  /// `live_results[i]` receives flow i's streaming fields (cwnd trace)
+  /// during the run; it must be sized to the flow count and outlive the
+  /// network. Flow ids come from FlowSpec::id (0 = auto, see FlowSpec).
+  Network(sim::EventLoop& loop, const MultiFlowConfig& config, sim::Rng& rng,
+          std::vector<RunResult>& live_results);
+
+  /// Starts every flow: zero-delay flows immediately (in flows[] order),
+  /// delayed flows via scheduled events.
+  void start();
+
+  /// When the run gives up: the max over flows of start delay + per-flow
+  /// deadline — every flow gets its full time budget (the old duel loop
+  /// granted only flow A's).
+  sim::Time deadline() const { return deadline_; }
+
+  BottleneckPath& path() { return *path_; }
+  std::size_t flow_count() const { return hosts_.size(); }
+  SenderHost& host(std::size_t i) { return *hosts_[i]; }
+
+  /// Per-component counters / conservation stages across all hosts plus
+  /// the shared path. Single-host networks use Topology's stage names;
+  /// multi-host networks prefix per-sender stages with "host<i>/".
+  net::CountersTable counters_table() const;
+  check::ConservationAuditor conservation_auditor() const;
+
+ private:
+  sim::EventLoop& loop_;
+  std::unique_ptr<BottleneckPath> path_;
+  std::vector<std::unique_ptr<SenderHost>> hosts_;
+  sim::Time deadline_;
+};
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2); 0 when all x are 0.
+double jain_index(const std::vector<double>& xs);
+
+/// Simulated-time budget for a whole multi-flow run, measured from t=0:
+/// max over flows of start_delay + run_deadline + workload_duration.
+sim::Duration flows_deadline(const MultiFlowConfig& config);
+
+/// Runs N competing flows to completion (or deadline) and extracts every
+/// per-flow metric from the shared tap in one pass.
+MultiFlowResult run_flows(const MultiFlowConfig& config);
+
+}  // namespace quicsteps::framework

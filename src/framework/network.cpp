@@ -1,0 +1,113 @@
+#include "framework/network.hpp"
+
+#include <utility>
+
+#include "kernel/qdisc_etf.hpp"
+#include "kernel/qdisc_fifo.hpp"
+#include "kernel/qdisc_fq.hpp"
+#include "kernel/qdisc_fq_codel.hpp"
+
+namespace quicsteps::framework {
+
+SenderPath::SenderPath(sim::EventLoop& loop, const TopologyConfig& config,
+                       kernel::OsModel& os, net::PacketSink* wire) {
+  kernel::Nic::Config nic_cfg;
+  nic_cfg.line_rate = config.server_nic_rate;
+  nic_cfg.launch_time = config.server_qdisc == QdiscKind::kEtfOffload;
+  nic_cfg.drop_missed_launch = config.drop_missed_launch;
+  nic_ = std::make_unique<kernel::Nic>(loop, nic_cfg, os, wire);
+
+  switch (config.server_qdisc) {
+    case QdiscKind::kFifo:
+      qdisc_ = std::make_unique<kernel::FifoQdisc>(
+          loop, kernel::FifoQdisc::Config{}, nic_.get());
+      break;
+    case QdiscKind::kFqCodel: {
+      kernel::FqCodelQdisc::Config cfg;
+      cfg.drain_rate = config.server_nic_rate;
+      qdisc_ = std::make_unique<kernel::FqCodelQdisc>(loop, cfg, nic_.get());
+      break;
+    }
+    case QdiscKind::kFq:
+      qdisc_ = std::make_unique<kernel::FqQdisc>(
+          loop, kernel::FqQdisc::Config{}, os, nic_.get());
+      break;
+    case QdiscKind::kEtf:
+    case QdiscKind::kEtfOffload:
+      qdisc_ = std::make_unique<kernel::EtfQdisc>(loop, config.etf, os,
+                                                  nic_.get());
+      break;
+  }
+}
+
+BottleneckPath::BottleneckPath(sim::EventLoop& loop,
+                               const TopologyConfig& config, sim::Rng& rng,
+                               kernel::OsModel& server_recv_os)
+    : client_os_(config.client_os, rng.fork(2)),
+      client_receiver_(std::make_unique<kernel::UdpReceiver>(
+          loop, client_os_, config.client_rcvbuf_bytes,
+          [this](net::Packet pkt) { data_dispatch_.deliver(std::move(pkt)); },
+          config.client_gro_window)),
+      data_netem_(loop,
+                  {.delay = config.path_delay_one_way,
+                   .jitter = config.path_jitter,
+                   .limit_packets = config.netem_limit_packets,
+                   .loss_probability = config.path_loss_probability,
+                   .reorder_probability = config.path_reorder_probability},
+                  rng.fork(3), client_receiver_.get()),
+      bottleneck_(loop,
+                  {.rate = config.bottleneck_rate,
+                   .burst_bytes = config.tbf_burst_bytes,
+                   .limit_bytes = config.bottleneck_buffer_bytes},
+                  &data_netem_),
+      tap_(std::make_unique<net::WireTap>(loop, &bottleneck_)),
+      server_receiver_(std::make_unique<kernel::UdpReceiver>(
+          loop, server_recv_os, config.client_rcvbuf_bytes,
+          [this](net::Packet pkt) { ack_dispatch_.deliver(std::move(pkt)); })),
+      ack_netem_(loop,
+                 {.delay = config.path_delay_one_way,
+                  .limit_packets = config.netem_limit_packets},
+                 rng.fork(4), server_receiver_.get()) {
+  bottleneck_.set_drop_observer(
+      [this](const net::Packet& pkt) { ++drops_by_flow_[pkt.flow]; });
+}
+
+void BottleneckPath::register_flow(std::uint32_t id, net::PacketSink* data,
+                                   net::PacketSink* ack) {
+  data_dispatch_.add_route(id, data);
+  ack_dispatch_.add_route(id, ack);
+}
+
+void BottleneckPath::set_default_routes(net::PacketSink* data,
+                                        net::PacketSink* ack) {
+  data_dispatch_.set_default_route(data);
+  ack_dispatch_.set_default_route(ack);
+}
+
+std::int64_t BottleneckPath::bottleneck_drops(std::uint32_t flow) const {
+  const auto it = drops_by_flow_.find(flow);
+  return it != drops_by_flow_.end() ? it->second : 0;
+}
+
+void BottleneckPath::add_counters(net::CountersTable& table) const {
+  table.add("bottleneck/tbf", bottleneck_.counters());
+  table.add("path/data_netem", data_netem_.counters());
+  table.add("path/ack_netem", ack_netem_.counters());
+}
+
+void BottleneckPath::add_conservation_stages(
+    check::ConservationAuditor& auditor) const {
+  const std::size_t tbf = auditor.add_stage(
+      "bottleneck/tbf", bottleneck_.counters(),
+      [this] { return static_cast<std::int64_t>(bottleneck_.backlog_packets()); });
+  const std::size_t netem = auditor.add_stage(
+      "path/data_netem", data_netem_.counters(),
+      [this] { return data_netem_.in_flight(); });
+  auditor.add_stage("path/ack_netem", ack_netem_.counters(),
+                    [this] { return ack_netem_.in_flight(); });
+  // The TBF hands released packets straight to netem in the same event, so
+  // their books must agree exactly at every instant.
+  auditor.add_edge(tbf, netem);
+}
+
+}  // namespace quicsteps::framework

@@ -1,0 +1,127 @@
+// The datapath fabric, factored so one wiring serves any sender count.
+//
+// Three constructions used to build the paper's Figure 1 path by hand:
+// framework::Topology (one sender), Runner::run_once (endpoint attachment
+// on top of Topology), and run_duel (the whole path again, with 2-element
+// arrays). This header holds the two shareable pieces they had in common:
+//
+//   SenderPath      one sender's kernel egress: [qdisc under test] -> NIC
+//                   (1 Gbit/s, optional LaunchTime) -> the wire.
+//   BottleneckPath  everything the senders share: WIRE TAP (sniffer) ->
+//                   TBF 40 Mbit/s (DROPS HAPPEN HERE) -> netem +20 ms ->
+//                   client UDP receiver -> per-flow dispatch table, plus
+//                   the ACK return path (netem +20 ms -> server receiver
+//                   -> dispatch back to the owning sender).
+//
+// Topology is the N=1 instantiation (one SenderPath on one
+// BottleneckPath); framework::Network (flows.hpp) composes N sender hosts
+// onto one shared path for competing-flow experiments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "check/conservation_auditor.hpp"
+#include "framework/topology.hpp"
+#include "kernel/nic.hpp"
+#include "kernel/os_model.hpp"
+#include "kernel/qdisc.hpp"
+#include "kernel/qdisc_netem.hpp"
+#include "kernel/qdisc_tbf.hpp"
+#include "kernel/udp_socket.hpp"
+#include "net/counters.hpp"
+#include "net/flow_table.hpp"
+#include "net/wire_tap.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/random.hpp"
+
+namespace quicsteps::framework {
+
+/// One sender's kernel egress chain, built per `config.server_qdisc`:
+/// the qdisc under test feeding a NIC that serializes onto `wire`.
+class SenderPath {
+ public:
+  SenderPath(sim::EventLoop& loop, const TopologyConfig& config,
+             kernel::OsModel& os, net::PacketSink* wire);
+
+  /// Head of the chain: the stack's UdpSocket target.
+  net::PacketSink* egress() { return qdisc_.get(); }
+  kernel::Qdisc& qdisc() { return *qdisc_; }
+  const kernel::Qdisc& qdisc() const { return *qdisc_; }
+  const kernel::Nic& nic() const { return *nic_; }
+
+ private:
+  std::unique_ptr<kernel::Nic> nic_;
+  std::unique_ptr<kernel::Qdisc> qdisc_;
+};
+
+/// Everything between the senders' NICs and the endpoints, shared by all
+/// flows: tap, bottleneck TBF, both netem delays, both UDP receivers, and
+/// the flow-id dispatch tables that route each packet to the endpoint
+/// owning its flow.
+///
+/// `server_recv_os` models the kernel that runs the server-side ACK
+/// receiver (Topology and the N-flow fabric both use the first sender
+/// host's OS). RNG forks are salt-addressed: client OS = fork(2), data
+/// netem = fork(3), ack netem = fork(4) — the same salts Topology always
+/// used, so an N=1 fabric run is bit-identical to the historical wiring.
+class BottleneckPath {
+ public:
+  BottleneckPath(sim::EventLoop& loop, const TopologyConfig& config,
+                 sim::Rng& rng, kernel::OsModel& server_recv_os);
+
+  /// Where sender NICs serialize to: the tap (then TBF, netem, client).
+  net::PacketSink* wire_ingress() { return tap_.get(); }
+  /// Where client endpoints send ACKs: netem back toward the servers.
+  net::PacketSink* ack_ingress() { return &ack_netem_; }
+
+  /// Routes flow `id`'s data packets (client side) to `data` and its ACKs
+  /// (server side) to `ack`. Unregistered ids trip QUICSTEPS_AUDIT unless
+  /// default routes are set.
+  void register_flow(std::uint32_t id, net::PacketSink* data,
+                     net::PacketSink* ack);
+  /// Endpoint-agnostic fallback routes (Topology's handler API).
+  void set_default_routes(net::PacketSink* data, net::PacketSink* ack);
+
+  net::WireTap& tap() { return *tap_; }
+  const net::WireTap& tap() const { return *tap_; }
+  const kernel::TbfQdisc& bottleneck() const { return bottleneck_; }
+  const kernel::NetemQdisc& data_netem() const { return data_netem_; }
+  const kernel::NetemQdisc& ack_netem() const { return ack_netem_; }
+  kernel::OsModel& client_os() { return client_os_; }
+
+  /// Total bottleneck drops — the paper's "dropped packets" column.
+  std::int64_t bottleneck_drops() const {
+    return bottleneck_.counters().packets_dropped;
+  }
+  /// Drops attributed to one flow (who actually lost the buffer race).
+  std::int64_t bottleneck_drops(std::uint32_t flow) const;
+
+  /// Appends the shared stages to a counter table / conservation auditor
+  /// (the caller adds its per-sender qdisc stages). The auditor borrows
+  /// this path's counters — audit() while it is alive.
+  void add_counters(net::CountersTable& table) const;
+  void add_conservation_stages(check::ConservationAuditor& auditor) const;
+
+ private:
+  kernel::OsModel client_os_;
+
+  // Dispatch tables outlive the receivers that deliver into them.
+  net::FlowTableSink data_dispatch_;
+  net::FlowTableSink ack_dispatch_;
+
+  // Data path, downstream-first construction order.
+  std::unique_ptr<kernel::UdpReceiver> client_receiver_;
+  kernel::NetemQdisc data_netem_;
+  kernel::TbfQdisc bottleneck_;
+  std::unique_ptr<net::WireTap> tap_;
+
+  // ACK path.
+  std::unique_ptr<kernel::UdpReceiver> server_receiver_;
+  kernel::NetemQdisc ack_netem_;
+
+  std::map<std::uint32_t, std::int64_t> drops_by_flow_;
+};
+
+}  // namespace quicsteps::framework

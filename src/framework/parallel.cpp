@@ -114,4 +114,12 @@ std::vector<DuelResult> ParallelRunner::run_duels(
   return results;
 }
 
+std::vector<MultiFlowResult> ParallelRunner::run_flow_sets(
+    const std::vector<MultiFlowConfig>& configs) const {
+  std::vector<MultiFlowResult> results(configs.size());
+  parallel_for(configs.size(), jobs_,
+               [&](std::size_t i) { results[i] = run_flows(configs[i]); });
+  return results;
+}
+
 }  // namespace quicsteps::framework

@@ -18,6 +18,7 @@
 
 #include "framework/duel.hpp"
 #include "framework/experiment.hpp"
+#include "framework/flows.hpp"
 
 namespace quicsteps::framework {
 
@@ -45,6 +46,11 @@ class ParallelRunner {
   /// Independent duels (competing-flow pairs), in input order.
   std::vector<DuelResult> run_duels(
       const std::vector<DuelConfig>& duels) const;
+
+  /// Independent N-flow fabrics (each one shared bottleneck with its own
+  /// sender set), in input order.
+  std::vector<MultiFlowResult> run_flow_sets(
+      const std::vector<MultiFlowConfig>& configs) const;
 
  private:
   int jobs_;

@@ -1,28 +1,11 @@
 #include "framework/runner.hpp"
 
-#include <memory>
 #include <utility>
 
-#include <fstream>
-
-#include "check/audit.hpp"
-#include "check/determinism_hasher.hpp"
+#include "framework/flows.hpp"
 #include "framework/parallel.hpp"
-#include "kernel/udp_socket.hpp"
-#include "metrics/capture_analysis.hpp"
-#include "quic/client.hpp"
-#include "quic/app_source.hpp"
-#include "quic/qlog.hpp"
-#include "quic/server.hpp"
-#include "stacks/event_loop_model.hpp"
-#include "tcp/tcp_client.hpp"
-#include "tcp/tcp_server.hpp"
 
 namespace quicsteps::framework {
-
-namespace {
-using namespace quicsteps::sim::literals;
-}  // namespace
 
 stacks::StackProfile profile_for(const ExperimentConfig& config) {
   stacks::ProfileOptions opts;
@@ -46,8 +29,6 @@ stacks::StackProfile profile_for(const ExperimentConfig& config) {
   }
 }
 
-/// Extra simulated time an app-limited workload needs to release all its
-/// data (zero for bulk).
 sim::Duration workload_duration(const ExperimentConfig& config) {
   const auto& w = config.workload;
   switch (w.kind) {
@@ -78,188 +59,14 @@ sim::Duration run_deadline(const ExperimentConfig& config) {
 
 RunResult Runner::run_once(const ExperimentConfig& config,
                            std::uint64_t seed) {
-  sim::EventLoop loop;
-  sim::Rng rng(seed);
-  Topology topo(loop, config.topology, rng);
-  RunResult result;
-
-  const bool is_tcp = config.stack == StackKind::kTcpTls;
-  const std::uint32_t flow = is_tcp ? 2u : 1u;
-
-  // All metrics derive from the tap; one incremental pass as packets hit
-  // the wire replaces four post-hoc walks over the capture. The same pass
-  // folds each departure timestamp into the run's determinism fingerprint
-  // and (in audit builds) checks that wire time never goes backwards.
-  metrics::CaptureAnalyzer capture_analyzer({.flow = flow});
-  check::DeterminismHasher wire_hasher;
-  check::MonotonicityAuditor tap_monotone("wire-tap departure time");
-  topo.tap().set_on_packet([&capture_analyzer, &wire_hasher,
-                            &tap_monotone](const net::Packet& pkt) {
-    capture_analyzer.add(pkt);
-    wire_hasher.add_i64(pkt.wire_time.ns());
-    if constexpr (check::kAuditEnabled) {
-      tap_monotone.observe(pkt.wire_time.ns());
-    }
-  });
-
-  // Post-run invariants: every stage's books balance, and the tap saw
-  // exactly what entered the bottleneck (they are wired back-to-back).
-  auto audit_run = [&topo, &wire_hasher] {
-    if constexpr (check::kAuditEnabled) {
-      topo.conservation_auditor().audit();
-      QUICSTEPS_AUDIT(topo.bottleneck().counters().packets_in ==
-                          static_cast<std::int64_t>(wire_hasher.count()),
-                      "tap and bottleneck disagree on wire packet count");
-    }
-  };
-
-  if (is_tcp) {
-    tcp::TcpServer::Config server_cfg;
-    server_cfg.connection.total_payload_bytes = config.payload_bytes;
-    server_cfg.connection.flow = flow;
-    server_cfg.connection.cc.algorithm = config.cca;
-    server_cfg.line_rate = config.topology.server_nic_rate;
-    // The kernel TCP path bypasses UDP sockets: segments enter the same
-    // egress qdisc directly (tc treats them alike).
-    tcp::TcpServer server(loop, server_cfg, topo.server_egress());
-    tcp::TcpClient client(loop,
-                          {.flow = flow,
-                           .expected_payload_bytes = config.payload_bytes,
-                           .ack = {}},
-                          topo.client_egress());
-    topo.set_client_handler(
-        [&](net::Packet pkt) { client.on_datagram(pkt); });
-    topo.set_server_handler(
-        [&](net::Packet pkt) { server.on_datagram(pkt); });
-
-    server.start();
-    loop.run_until(sim::Time::zero() + run_deadline(config));
-
-    result.completed = client.complete();
-    result.packets_sent = server.connection().stats().segments_sent;
-    result.packets_declared_lost =
-        server.connection().stats().segments_declared_lost;
-    result.retransmissions =
-        server.connection().stats().segments_retransmitted;
-    result.goodput = metrics::compute_goodput(
-        client.stats().payload_bytes_received,
-        client.stats().first_packet_time, client.stats().completion_time);
-    result.dropped_packets = topo.bottleneck_drops();
-    result.wire_hash = wire_hasher.digest();
-    audit_run();
-    metrics::CaptureAnalysis analysis = capture_analyzer.finish();
-    result.gaps = std::move(analysis.gaps);
-    result.trains = std::move(analysis.trains);
-    result.precision = std::move(analysis.precision);
-    result.wire_data_packets = analysis.wire_data_packets;
-    if (config.keep_capture) {
-      result.capture = std::make_shared<const std::vector<net::Packet>>(
-          topo.tap().capture());
-    }
-    return result;
-  }
-
-  // --- QUIC stacks -----------------------------------------------------------
-  const stacks::StackProfile profile = profile_for(config);
-  quic::Connection::Config conn_cfg;
-  conn_cfg.total_payload_bytes = config.payload_bytes;
-  conn_cfg.flow = flow;
-  conn_cfg.flow_control_credit = profile.flow_control_credit;
-  conn_cfg.app_limited_source =
-      config.workload.kind != quic::SourceKind::kBulk;
-
-  std::unique_ptr<stacks::StackServer> stack_server;
-  std::unique_ptr<quic::ReferenceServer> ideal_server;
-
-  if (config.stack == StackKind::kIdealQuic) {
-    conn_cfg.cc.algorithm = config.cca;
-    ideal_server = std::make_unique<quic::ReferenceServer>(
-        loop, conn_cfg, topo.server_egress());
-  } else {
-    stack_server = std::make_unique<stacks::StackServer>(
-        loop, topo.server_os(), profile, conn_cfg, topo.server_egress());
-  }
-
-  quic::Client client(loop,
-                      {.flow = flow,
-                       .ack = {},
-                       .expected_payload_bytes = config.payload_bytes,
-                       .flow_control_credit = profile.flow_control_credit},
-                      topo.client_egress());
-  topo.set_client_handler([&](net::Packet pkt) { client.on_datagram(pkt); });
-  topo.set_server_handler([&](net::Packet pkt) {
-    if (stack_server != nullptr) {
-      stack_server->on_datagram(pkt);
-    } else {
-      ideal_server->on_datagram(pkt);
-    }
-  });
-
-  quic::Connection& conn = stack_server != nullptr
-                               ? stack_server->connection()
-                               : ideal_server->connection();
-  if (config.record_cwnd_trace) {
-    conn.set_cwnd_tracer([&result](sim::Time t, std::int64_t cwnd,
-                                   std::int64_t in_flight) {
-      result.cwnd_trace.push_back(RunResult::CwndPoint{t, cwnd, in_flight});
-    });
-  }
-  std::ofstream qlog_stream;
-  std::unique_ptr<quic::QlogWriter> qlog;
-  if (!config.qlog_path.empty()) {
-    qlog_stream.open(config.qlog_path + "." + std::to_string(seed));
-    qlog = std::make_unique<quic::QlogWriter>(qlog_stream);
-    qlog->write_header(config.label.empty() ? "quicsteps run" : config.label);
-    conn.set_observer(qlog.get());
-  }
-
-  quic::AppSource source(
-      loop, conn, config.workload, [&] {
-        if (stack_server != nullptr) {
-          stack_server->poke();
-        } else {
-          ideal_server->start();  // re-enter the ideal send loop
-        }
-      });
-
-  if (stack_server != nullptr) {
-    stack_server->start();
-  } else {
-    ideal_server->start();
-  }
-  source.start();
-  loop.run_until(sim::Time::zero() + run_deadline(config) +
-                 workload_duration(config));
-
-  result.completed = client.complete();
-  result.packets_sent = conn.stats().packets_sent;
-  result.packets_declared_lost = conn.stats().packets_declared_lost;
-  result.retransmissions = conn.stats().packets_retransmitted;
-  if (const auto* cubic =
-          dynamic_cast<const cc::Cubic*>(&conn.controller())) {
-    result.cc_rollbacks = cubic->rollbacks_performed();
-  }
-  if (stack_server != nullptr) {
-    result.send_syscalls =
-        static_cast<std::int64_t>(stack_server->stats().send_syscalls);
-    result.cpu_time_ms = stack_server->stats().cpu_time.to_millis();
-  }
-  result.goodput = metrics::compute_goodput(
-      client.stats().payload_bytes_received, client.stats().first_packet_time,
-      client.stats().completion_time);
-  result.dropped_packets = topo.bottleneck_drops();
-  result.wire_hash = wire_hasher.digest();
-  audit_run();
-  metrics::CaptureAnalysis analysis = capture_analyzer.finish();
-  result.gaps = std::move(analysis.gaps);
-  result.trains = std::move(analysis.trains);
-  result.precision = std::move(analysis.precision);
-  result.wire_data_packets = analysis.wire_data_packets;
-  if (config.keep_capture) {
-    result.capture = std::make_shared<const std::vector<net::Packet>>(
-        topo.tap().capture());
-  }
-  return result;
+  // The N=1 instantiation of the flow fabric. run_flows reproduces the
+  // historical single-flow wiring bit-for-bit (same RNG fork salts, same
+  // flow id, same start order), so this delegation changes no wire_hash.
+  MultiFlowConfig flows;
+  flows.seed = seed;
+  flows.flows.push_back(FlowSpec{.config = config});
+  MultiFlowResult result = run_flows(flows);
+  return std::move(result.flows.front());
 }
 
 std::vector<RunResult> Runner::run_all(const ExperimentConfig& config) {

@@ -18,6 +18,10 @@ stacks::StackProfile profile_for(const ExperimentConfig& config);
 /// incomplete instead of hanging).
 sim::Duration run_deadline(const ExperimentConfig& config);
 
+/// Extra simulated time an app-limited workload needs to release all its
+/// data (zero for bulk).
+sim::Duration workload_duration(const ExperimentConfig& config);
+
 class Runner {
  public:
   /// One repetition with the given seed.

@@ -1,6 +1,9 @@
 #include "framework/topology.hpp"
 
+#include <string>
 #include <utility>
+
+#include "framework/network.hpp"
 
 namespace quicsteps::framework {
 
@@ -20,92 +23,60 @@ const char* to_string(QdiscKind kind) {
   return "?";
 }
 
+// Fork salts 1 (server OS) and 2-4 (inside BottleneckPath) are the wiring's
+// historical values; salts address generators, so construction order is
+// free but the salt assignment is load-bearing for reproducibility.
 Topology::Topology(sim::EventLoop& loop, TopologyConfig config, sim::Rng& rng)
-    : loop_(loop),
-      config_(config),
+    : config_(config),
       server_os_(config.server_os, rng.fork(1)),
-      client_os_(config.client_os, rng.fork(2)),
-      client_receiver_(std::make_unique<kernel::UdpReceiver>(
-          loop, client_os_, config.client_rcvbuf_bytes,
-          [this](net::Packet pkt) {
-            if (client_handler_) client_handler_(std::move(pkt));
-          },
-          config.client_gro_window)),
-      data_netem_(loop,
-                  {.delay = config.path_delay_one_way,
-                   .jitter = config.path_jitter,
-                   .limit_packets = config.netem_limit_packets,
-                   .loss_probability = config.path_loss_probability,
-                   .reorder_probability = config.path_reorder_probability},
-                  rng.fork(3), client_receiver_.get()),
-      bottleneck_(loop,
-                  {.rate = config.bottleneck_rate,
-                   .burst_bytes = config.tbf_burst_bytes,
-                   .limit_bytes = config.bottleneck_buffer_bytes},
-                  &data_netem_),
-      tap_(std::make_unique<net::WireTap>(loop, &bottleneck_)),
-      server_receiver_(std::make_unique<kernel::UdpReceiver>(
-          loop, server_os_, config.client_rcvbuf_bytes,
-          [this](net::Packet pkt) {
-            if (server_handler_) server_handler_(std::move(pkt));
-          })),
-      client_netem_(loop,
-                    {.delay = config.path_delay_one_way,
-                     .limit_packets = config.netem_limit_packets},
-                    rng.fork(4), server_receiver_.get()) {
-  kernel::Nic::Config nic_cfg;
-  nic_cfg.line_rate = config.server_nic_rate;
-  nic_cfg.launch_time = config.server_qdisc == QdiscKind::kEtfOffload;
-  nic_cfg.drop_missed_launch = config.drop_missed_launch;
-  nic_ = std::make_unique<kernel::Nic>(loop, nic_cfg, server_os_, tap_.get());
-
-  switch (config.server_qdisc) {
-    case QdiscKind::kFifo:
-      qdisc_ = std::make_unique<kernel::FifoQdisc>(loop, kernel::FifoQdisc::Config{},
-                                                   nic_.get());
-      break;
-    case QdiscKind::kFqCodel: {
-      kernel::FqCodelQdisc::Config cfg;
-      cfg.drain_rate = config.server_nic_rate;
-      qdisc_ = std::make_unique<kernel::FqCodelQdisc>(loop, cfg, nic_.get());
-      break;
-    }
-    case QdiscKind::kFq:
-      qdisc_ = std::make_unique<kernel::FqQdisc>(loop, kernel::FqQdisc::Config{},
-                                                 server_os_, nic_.get());
-      break;
-    case QdiscKind::kEtf:
-    case QdiscKind::kEtfOffload:
-      qdisc_ = std::make_unique<kernel::EtfQdisc>(loop, config.etf, server_os_,
-                                                  nic_.get());
-      break;
-  }
+      path_(std::make_unique<BottleneckPath>(loop, config_, rng, server_os_)),
+      sender_(std::make_unique<SenderPath>(loop, config_, server_os_,
+                                           path_->wire_ingress())),
+      to_client_([this](net::Packet pkt) {
+        if (client_handler_) client_handler_(std::move(pkt));
+      }),
+      to_server_([this](net::Packet pkt) {
+        if (server_handler_) server_handler_(std::move(pkt));
+      }) {
+  path_->set_default_routes(&to_client_, &to_server_);
 }
+
+Topology::~Topology() = default;
+
+net::PacketSink* Topology::server_egress() { return sender_->egress(); }
+net::PacketSink* Topology::client_egress() { return path_->ack_ingress(); }
+const net::WireTap& Topology::tap() const { return path_->tap(); }
+net::WireTap& Topology::tap() { return path_->tap(); }
+std::int64_t Topology::bottleneck_drops() const {
+  return path_->bottleneck_drops();
+}
+const kernel::TbfQdisc& Topology::bottleneck() const {
+  return path_->bottleneck();
+}
+const kernel::Qdisc& Topology::server_qdisc() const {
+  return sender_->qdisc();
+}
+const kernel::NetemQdisc& Topology::data_netem() const {
+  return path_->data_netem();
+}
+const kernel::NetemQdisc& Topology::client_netem() const {
+  return path_->ack_netem();
+}
+kernel::OsModel& Topology::client_os() { return path_->client_os(); }
 
 net::CountersTable Topology::counters_table() const {
   net::CountersTable table;
-  table.add(std::string("qdisc/") + qdisc_->name(), qdisc_->counters());
-  table.add("bottleneck/tbf", bottleneck_.counters());
-  table.add("path/data_netem", data_netem_.counters());
-  table.add("path/ack_netem", client_netem_.counters());
+  table.add(std::string("qdisc/") + sender_->qdisc().name(),
+            sender_->qdisc().counters());
+  path_->add_counters(table);
   return table;
 }
 
 check::ConservationAuditor Topology::conservation_auditor() const {
   check::ConservationAuditor auditor;
-  auditor.add_stage(std::string("qdisc/") + qdisc_->name(),
-                    qdisc_->counters());
-  const std::size_t tbf = auditor.add_stage(
-      "bottleneck/tbf", bottleneck_.counters(),
-      [this] { return static_cast<std::int64_t>(bottleneck_.backlog_packets()); });
-  const std::size_t netem = auditor.add_stage(
-      "path/data_netem", data_netem_.counters(),
-      [this] { return data_netem_.in_flight(); });
-  auditor.add_stage("path/ack_netem", client_netem_.counters(),
-                    [this] { return client_netem_.in_flight(); });
-  // The TBF hands released packets straight to netem in the same event, so
-  // their books must agree exactly at every instant.
-  auditor.add_edge(tbf, netem);
+  auditor.add_stage(std::string("qdisc/") + sender_->qdisc().name(),
+                    sender_->qdisc().counters());
+  path_->add_conservation_stages(auditor);
   return auditor;
 }
 

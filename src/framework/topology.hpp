@@ -9,6 +9,12 @@
 //
 // The tap sits before the shaper, so captured timing reflects the server's
 // pacing, not the bottleneck's re-shaping — exactly the paper's design.
+//
+// Topology is the single-sender (N=1) instantiation of the datapath
+// fabric: one framework::SenderPath on one framework::BottleneckPath
+// (network.hpp), with endpoint-agnostic handler routing. Competing-flow
+// experiments compose N sender hosts onto the same shared path via
+// framework::Network (flows.hpp).
 #pragma once
 
 #include <cstdint>
@@ -30,6 +36,9 @@
 #include "sim/random.hpp"
 
 namespace quicsteps::framework {
+
+class BottleneckPath;
+class SenderPath;
 
 enum class QdiscKind : std::uint8_t {
   kFifo,        // pfifo_fast: kernel default, txtime ignored
@@ -75,29 +84,32 @@ struct TopologyConfig {
 class Topology {
  public:
   Topology(sim::EventLoop& loop, TopologyConfig config, sim::Rng& rng);
+  ~Topology();
 
   /// Head of the server egress chain: the stack's UdpSocket target.
-  net::PacketSink* server_egress() { return qdisc_.get(); }
+  net::PacketSink* server_egress();
   /// Head of the client egress chain (ACK path back to the server).
-  net::PacketSink* client_egress() { return &client_netem_; }
+  net::PacketSink* client_egress();
 
   /// Wire the endpoint handlers.
   void set_client_handler(kernel::UdpReceiver::Handler handler);
   void set_server_handler(kernel::UdpReceiver::Handler handler);
 
-  const net::WireTap& tap() const { return *tap_; }
-  net::WireTap& tap() { return *tap_; }
+  const net::WireTap& tap() const;
+  net::WireTap& tap();
   /// Bottleneck drop count — the paper's "dropped packets" column.
-  std::int64_t bottleneck_drops() const {
-    return bottleneck_.counters().packets_dropped;
-  }
-  const kernel::TbfQdisc& bottleneck() const { return bottleneck_; }
-  const kernel::Qdisc& server_qdisc() const { return *qdisc_; }
-  const kernel::NetemQdisc& data_netem() const { return data_netem_; }
-  const kernel::NetemQdisc& client_netem() const { return client_netem_; }
+  std::int64_t bottleneck_drops() const;
+  const kernel::TbfQdisc& bottleneck() const;
+  const kernel::Qdisc& server_qdisc() const;
+  const kernel::NetemQdisc& data_netem() const;
+  const kernel::NetemQdisc& client_netem() const;
   kernel::OsModel& server_os() { return server_os_; }
-  kernel::OsModel& client_os() { return client_os_; }
+  kernel::OsModel& client_os();
   const TopologyConfig& config() const { return config_; }
+
+  /// The shared-path half of this topology (the fabric piece the N-flow
+  /// Network also builds).
+  BottleneckPath& path() { return *path_; }
 
   /// Per-component counter snapshots in sorted name order.
   net::CountersTable counters_table() const;
@@ -110,23 +122,15 @@ class Topology {
   check::ConservationAuditor conservation_auditor() const;
 
  private:
-  sim::EventLoop& loop_;
   TopologyConfig config_;
   kernel::OsModel server_os_;
-  kernel::OsModel client_os_;
+  std::unique_ptr<BottleneckPath> path_;
+  std::unique_ptr<SenderPath> sender_;
 
-  // Data path, downstream-first construction order.
-  std::unique_ptr<kernel::UdpReceiver> client_receiver_;
-  kernel::NetemQdisc data_netem_;
-  kernel::TbfQdisc bottleneck_;
-  std::unique_ptr<net::WireTap> tap_;
-  std::unique_ptr<kernel::Nic> nic_;
-  std::unique_ptr<kernel::Qdisc> qdisc_;
-
-  // ACK path.
-  std::unique_ptr<kernel::UdpReceiver> server_receiver_;
-  kernel::NetemQdisc client_netem_;
-
+  // Endpoint-agnostic routing: the shared path's default routes point at
+  // these adapters, which forward to whatever handlers are set (or drop).
+  net::CallbackSink to_client_;
+  net::CallbackSink to_server_;
   kernel::UdpReceiver::Handler client_handler_;
   kernel::UdpReceiver::Handler server_handler_;
 };

@@ -8,6 +8,7 @@
 // for QUIC).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -27,6 +28,13 @@ class Qdisc : public net::PacketSink {
   const net::Counters& counters() const { return counters_; }
   void set_downstream(net::PacketSink* sink) { downstream_ = sink; }
 
+  /// Observes every dropped packet (after it is counted). A shared
+  /// bottleneck uses this to attribute losses to the flows that suffered
+  /// them — the per-flow "dropped packets" column of a competing-flow run.
+  void set_drop_observer(std::function<void(const net::Packet&)> observer) {
+    drop_observer_ = std::move(observer);
+  }
+
  protected:
   void forward(net::Packet pkt) {
     counters_.count_out(pkt.size_bytes);
@@ -40,6 +48,7 @@ class Qdisc : public net::PacketSink {
     counters_.count_drop(pkt.size_bytes);
     QUICSTEPS_AUDIT(counters_.packets_queued() >= 0,
                     name_ + " dropped a packet it never enqueued");
+    if (drop_observer_) drop_observer_(pkt);
   }
   void note_arrival(const net::Packet& pkt) { counters_.count_in(pkt.size_bytes); }
 
@@ -49,6 +58,7 @@ class Qdisc : public net::PacketSink {
   std::string name_;
   net::PacketSink* downstream_;
   net::Counters counters_;
+  std::function<void(const net::Packet&)> drop_observer_;
 };
 
 }  // namespace quicsteps::kernel

@@ -74,4 +74,30 @@ CaptureAnalysis CaptureAnalyzer::analyze(
   return pass.finish();
 }
 
+std::size_t FlowCaptureDemux::add_flow(std::uint32_t flow,
+                                       CaptureAnalyzer::Config config) {
+  config.flow = flow;
+  slots_.push_back(Slot{flow, CaptureAnalyzer(config)});
+  return slots_.size() - 1;
+}
+
+int FlowCaptureDemux::add(const net::Packet& pkt) {
+  if (last_hit_ < slots_.size() && slots_[last_hit_].flow == pkt.flow) {
+    slots_[last_hit_].analyzer.add(pkt);
+    return static_cast<int>(last_hit_);
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].flow == pkt.flow) {
+      last_hit_ = i;
+      slots_[i].analyzer.add(pkt);
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void FlowCaptureDemux::analyze(const std::vector<net::Packet>& capture) {
+  for (const auto& pkt : capture) add(pkt);
+}
+
 }  // namespace quicsteps::metrics

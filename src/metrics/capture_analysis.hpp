@@ -69,4 +69,47 @@ class CaptureAnalyzer {
   sim::Time last_time_;
 };
 
+/// N-flow single-pass demultiplexer over a shared tap.
+//
+// A shared bottleneck interleaves every flow's packets in one capture; the
+// old competing-flow path re-scanned the whole capture once per flow (N
+// full passes, each discarding the (N-1)/N of packets it doesn't own).
+// FlowCaptureDemux keeps one CaptureAnalyzer per registered flow and
+// routes each packet to its analyzer as it arrives, so an N-flow capture
+// is walked exactly once regardless of N. Each flow's finished report is
+// bit-identical to a standalone CaptureAnalyzer filtering on that flow.
+class FlowCaptureDemux {
+ public:
+  /// Registers a flow; `config.flow` is overwritten with `flow`. Returns
+  /// the flow's slot index (stable; also returned by add()).
+  std::size_t add_flow(std::uint32_t flow, CaptureAnalyzer::Config config = {});
+
+  /// Feeds one packet in wire order. Returns the owning flow's slot index,
+  /// or -1 when no registered flow matches (the packet is ignored —
+  /// whether that is an error is the caller's policy, not the metric's).
+  int add(const net::Packet& pkt);
+
+  std::size_t flow_count() const { return slots_.size(); }
+  std::uint32_t flow_at(std::size_t slot) const { return slots_[slot].flow; }
+
+  /// Per-flow reports, by slot index. Non-destructive, like
+  /// CaptureAnalyzer::finish().
+  CaptureAnalysis finish(std::size_t slot) const {
+    return slots_[slot].analyzer.finish();
+  }
+
+  /// One-shot convenience: single pass over a stored capture.
+  void analyze(const std::vector<net::Packet>& capture);
+
+ private:
+  struct Slot {
+    std::uint32_t flow = 0;
+    CaptureAnalyzer analyzer;
+  };
+  /// In registration order (slot indices are stable); add() remembers the
+  /// last hit because wire packets arrive in per-flow trains.
+  std::vector<Slot> slots_;
+  std::size_t last_hit_ = 0;
+};
+
 }  // namespace quicsteps::metrics

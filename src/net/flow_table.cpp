@@ -1,0 +1,52 @@
+#include "net/flow_table.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "check/audit.hpp"
+
+namespace quicsteps::net {
+
+void FlowTableSink::add_route(std::uint32_t flow, PacketSink* sink) {
+  const auto pos = std::lower_bound(
+      table_.begin(), table_.end(), flow,
+      [](const auto& entry, std::uint32_t id) { return entry.first < id; });
+  QUICSTEPS_AUDIT(pos == table_.end() || pos->first != flow,
+                  "flow " + std::to_string(flow) + " registered twice");
+  if (pos != table_.end() && pos->first == flow) {
+    pos->second = sink;  // audit-off builds: last registration wins
+    return;
+  }
+  table_.insert(pos, {flow, sink});
+  last_hit_ = 0;
+}
+
+PacketSink* FlowTableSink::find(std::uint32_t flow) {
+  if (last_hit_ < table_.size() && table_[last_hit_].first == flow) {
+    return table_[last_hit_].second;
+  }
+  const auto pos = std::lower_bound(
+      table_.begin(), table_.end(), flow,
+      [](const auto& entry, std::uint32_t id) { return entry.first < id; });
+  if (pos != table_.end() && pos->first == flow) {
+    last_hit_ = static_cast<std::size_t>(pos - table_.begin());
+    return pos->second;
+  }
+  return nullptr;
+}
+
+void FlowTableSink::deliver(Packet pkt) {
+  if (PacketSink* sink = find(pkt.flow)) {
+    sink->deliver(std::move(pkt));
+    return;
+  }
+  if (default_route_ != nullptr) {
+    default_route_->deliver(std::move(pkt));
+    return;
+  }
+  QUICSTEPS_AUDIT(false, "packet for unregistered flow " +
+                             std::to_string(pkt.flow) + " (" +
+                             to_string(pkt.kind) + std::string(")"));
+}
+
+}  // namespace quicsteps::net

@@ -1,0 +1,49 @@
+// Flow-id dispatch: the receive-side demultiplexer of a shared path.
+//
+// When N senders share one bottleneck, every packet that pops out of the
+// client-side receiver (and every ACK that comes back) must reach exactly
+// the endpoint that owns its flow id. FlowTableSink is that switch: a
+// sorted (flow -> sink) table with an optional default route. Unlike the
+// old two-way ternary it replaces ("anything that isn't flow A must be
+// flow B"), an id that matches no route and has no default is an audited
+// error, not a silent misdelivery — a mis-tagged packet trips
+// QUICSTEPS_AUDIT instead of corrupting another flow's transport state.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace quicsteps::net {
+
+class FlowTableSink final : public PacketSink {
+ public:
+  /// Registers `sink` for packets tagged with `flow`. Registering the same
+  /// flow id twice is an audited error (two endpoints would silently split
+  /// one flow's packets).
+  void add_route(std::uint32_t flow, PacketSink* sink);
+
+  /// Fallback for ids with no route (nullptr = none). Topology uses this
+  /// for its endpoint-agnostic single-flow handlers; the N-flow fabric
+  /// leaves it unset so stray ids are caught.
+  void set_default_route(PacketSink* sink) { default_route_ = sink; }
+
+  /// Routes by pkt.flow. No route and no default trips QUICSTEPS_AUDIT
+  /// (and drops the packet in audit-off builds).
+  void deliver(Packet pkt) override;
+
+  std::size_t route_count() const { return table_.size(); }
+
+ private:
+  PacketSink* find(std::uint32_t flow);
+
+  /// Sorted by flow id; lookups remember the last hit because packets
+  /// arrive in per-flow bursts (a train hits one route repeatedly).
+  std::vector<std::pair<std::uint32_t, PacketSink*>> table_;
+  PacketSink* default_route_ = nullptr;
+  std::size_t last_hit_ = 0;
+};
+
+}  // namespace quicsteps::net

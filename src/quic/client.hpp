@@ -16,7 +16,7 @@
 
 namespace quicsteps::quic {
 
-class Client {
+class Client : public net::PacketSink {
  public:
   struct Config {
     std::uint32_t flow = 1;
@@ -44,6 +44,9 @@ class Client {
 
   /// Feed one received datagram (wired to the client UdpReceiver handler).
   void on_datagram(const net::Packet& pkt);
+
+  /// PacketSink ingress (flow-table routing targets the client directly).
+  void deliver(net::Packet pkt) override { on_datagram(pkt); }
 
   bool complete() const {
     return config_.expected_payload_bytes > 0 &&

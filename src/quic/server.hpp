@@ -16,7 +16,7 @@
 
 namespace quicsteps::quic {
 
-class ReferenceServer {
+class ReferenceServer : public net::PacketSink {
  public:
   ReferenceServer(sim::EventLoop& loop, Connection::Config config,
                   net::PacketSink* egress)
@@ -37,6 +37,9 @@ class ReferenceServer {
     rearm_loss_timer();
     attempt_send();
   }
+
+  /// PacketSink ingress (flow-table routing targets the server directly).
+  void deliver(net::Packet pkt) override { on_datagram(pkt); }
 
   Connection& connection() { return connection_; }
   const Connection& connection() const { return connection_; }

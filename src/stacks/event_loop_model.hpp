@@ -19,7 +19,7 @@
 
 namespace quicsteps::stacks {
 
-class StackServer {
+class StackServer : public net::PacketSink {
  public:
   struct Stats {
     /// CPU time the sender thread spent building packets and in syscalls
@@ -38,6 +38,9 @@ class StackServer {
 
   /// Wire this to the server-side UdpReceiver (delivers ACKs).
   void on_datagram(const net::Packet& pkt);
+
+  /// PacketSink ingress (flow-table routing targets the server directly).
+  void deliver(net::Packet pkt) override { on_datagram(pkt); }
 
   /// External wake-up (new application data became available).
   void poke() { attempt_send(); }

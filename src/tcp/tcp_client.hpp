@@ -11,7 +11,7 @@
 
 namespace quicsteps::tcp {
 
-class TcpClient {
+class TcpClient : public net::PacketSink {
  public:
   struct Config {
     std::uint32_t flow = 2;
@@ -34,6 +34,9 @@ class TcpClient {
         ack_egress_(ack_egress) {}
 
   void on_datagram(const net::Packet& pkt);
+
+  /// PacketSink ingress (flow-table routing targets the client directly).
+  void deliver(net::Packet pkt) override { on_datagram(pkt); }
 
   bool complete() const {
     return config_.expected_payload_bytes > 0 &&

@@ -13,7 +13,7 @@
 
 namespace quicsteps::tcp {
 
-class TcpServer {
+class TcpServer : public net::PacketSink {
  public:
   struct Config {
     TcpConnection::Config connection;
@@ -34,6 +34,9 @@ class TcpServer {
     rearm_loss_timer();
     attempt_send();
   }
+
+  /// PacketSink ingress (flow-table routing targets the server directly).
+  void deliver(net::Packet pkt) override { on_datagram(pkt); }
 
   TcpConnection& connection() { return connection_; }
   const TcpConnection& connection() const { return connection_; }

@@ -1,0 +1,206 @@
+// Fabric tests: the N-flow datapath (flows.hpp / network.hpp) against its
+// three contracts — N=1 runs are bit-identical to Runner::run_once, the
+// run deadline covers every flow (the old duel truncated flow B), and N
+// identical flows split the shared bottleneck fairly (Jain's index ~ 1).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/quicsteps.hpp"
+
+namespace quicsteps {
+namespace {
+
+using framework::ExperimentConfig;
+using framework::FlowSpec;
+using framework::MultiFlowConfig;
+using framework::MultiFlowResult;
+using framework::ParallelRunner;
+using framework::RunResult;
+using framework::Runner;
+using framework::StackKind;
+using sim::Duration;
+
+ExperimentConfig small_config(StackKind stack, std::int64_t payload_bytes) {
+  ExperimentConfig config;
+  config.stack = stack;
+  config.payload_bytes = payload_bytes;
+  return config;
+}
+
+// ------------------------------------------------- N=1 fabric identity
+
+TEST(RunFlows, SingleFlowMatchesRunOnceBitExact) {
+  for (StackKind stack :
+       {StackKind::kQuiche, StackKind::kQuicheSf, StackKind::kPicoquic,
+        StackKind::kNgtcp2, StackKind::kTcpTls, StackKind::kIdealQuic}) {
+    const ExperimentConfig config = small_config(stack, 512 * 1024);
+    const RunResult once = Runner::run_once(config, 3);
+
+    MultiFlowConfig flows;
+    flows.seed = 3;
+    flows.flows.push_back(FlowSpec{.config = config});
+    const MultiFlowResult multi = framework::run_flows(flows);
+
+    ASSERT_EQ(multi.flows.size(), 1u);
+    const RunResult& flow = multi.flows[0];
+    EXPECT_EQ(flow.wire_hash, once.wire_hash) << to_string(stack);
+    EXPECT_EQ(flow.completed, once.completed) << to_string(stack);
+    EXPECT_EQ(flow.packets_sent, once.packets_sent) << to_string(stack);
+    EXPECT_EQ(flow.wire_data_packets, once.wire_data_packets);
+    EXPECT_EQ(flow.dropped_packets, once.dropped_packets);
+    EXPECT_EQ(flow.gaps.gaps_ms.size(), once.gaps.gaps_ms.size());
+    EXPECT_DOUBLE_EQ(flow.goodput.goodput.mbps(),
+                     once.goodput.goodput.mbps());
+    // One flow alone owns every bottleneck drop and all the fairness.
+    EXPECT_EQ(multi.bottleneck_drops, once.dropped_packets);
+  }
+}
+
+TEST(RunFlows, SingleFlowKeepsHistoricalFlowIds) {
+  // QUIC=1, TCP=2 — Runner::run_once's convention, which the capture
+  // demux must follow for N=1 reports to match.
+  MultiFlowConfig quic;
+  quic.flows.push_back(
+      FlowSpec{.config = small_config(StackKind::kIdealQuic, 64 * 1024)});
+  quic.flows[0].config.keep_capture = true;
+  const MultiFlowResult quic_result = framework::run_flows(quic);
+  ASSERT_NE(quic_result.flows[0].capture, nullptr);
+  ASSERT_FALSE(quic_result.flows[0].capture->empty());
+  EXPECT_EQ(quic_result.flows[0].capture->front().flow, 1u);
+
+  MultiFlowConfig tcp;
+  tcp.flows.push_back(
+      FlowSpec{.config = small_config(StackKind::kTcpTls, 64 * 1024)});
+  tcp.flows[0].config.keep_capture = true;
+  const MultiFlowResult tcp_result = framework::run_flows(tcp);
+  ASSERT_NE(tcp_result.flows[0].capture, nullptr);
+  ASSERT_FALSE(tcp_result.flows[0].capture->empty());
+  EXPECT_EQ(tcp_result.flows[0].capture->front().flow, 2u);
+}
+
+// ------------------------------------------------------ deadline policy
+
+TEST(RunFlows, DeadlineCoversEveryFlow) {
+  // Regression for the duel deadline bug: the loop used to stop at flow
+  // A's budget plus B's start delay, truncating a larger flow B.
+  const ExperimentConfig a = small_config(StackKind::kQuicheSf, 1 << 20);
+  const ExperimentConfig b = small_config(StackKind::kPicoquic, 64 << 20);
+
+  MultiFlowConfig flows;
+  flows.flows.push_back(FlowSpec{.config = a});
+  flows.flows.push_back(
+      FlowSpec{.config = b, .start_delay = Duration::millis(500)});
+  const Duration deadline = framework::flows_deadline(flows);
+
+  // Every flow's full budget fits, offset by its start delay.
+  EXPECT_GE(deadline, Duration::millis(500) + framework::run_deadline(b));
+  // The old formula starved B: A's budget + B's delay is far too short.
+  EXPECT_GT(deadline, framework::run_deadline(a) + Duration::millis(500));
+
+  // App-limited workloads extend the budget by their release time.
+  MultiFlowConfig chunked = flows;
+  chunked.flows[1].config.workload.kind = quic::SourceKind::kChunked;
+  EXPECT_GT(framework::flows_deadline(chunked), deadline);
+}
+
+// -------------------------------------------------- N-flow fairness
+
+TEST(RunFlows, FourIdenticalFlowsSplitFairly) {
+  MultiFlowConfig flows;
+  flows.seed = 11;
+  for (int i = 0; i < 4; ++i) {
+    flows.flows.push_back(FlowSpec{
+        .config = small_config(StackKind::kQuicheSf, 3ll * 256 * 1024)});
+  }
+  const MultiFlowResult result = framework::run_flows(flows);
+
+  ASSERT_EQ(result.flows.size(), 4u);
+  double total_mbps = 0.0;
+  std::int64_t attributed_drops = 0;
+  for (const RunResult& flow : result.flows) {
+    EXPECT_TRUE(flow.completed);
+    EXPECT_GT(flow.goodput.goodput.mbps(), 0.0);
+    total_mbps += flow.goodput.goodput.mbps();
+    attributed_drops += flow.dropped_packets;
+  }
+  // Four identical stacks sharing 40 Mbit/s: near-perfect Jain's index,
+  // aggregate inside the bottleneck, and every drop attributed to some
+  // flow.
+  EXPECT_GT(result.fairness, 0.9);
+  EXPECT_LE(total_mbps, 40.0);
+  EXPECT_EQ(attributed_drops, result.bottleneck_drops);
+}
+
+TEST(RunFlows, JainIndexHandMath) {
+  EXPECT_DOUBLE_EQ(framework::jain_index({10.0, 10.0, 10.0, 10.0}), 1.0);
+  // One flow hogging everything: 1/N.
+  EXPECT_DOUBLE_EQ(framework::jain_index({40.0, 0.0, 0.0, 0.0}), 0.25);
+  EXPECT_DOUBLE_EQ(framework::jain_index({0.0, 0.0}), 0.0);
+  EXPECT_NEAR(framework::jain_index({30.0, 10.0}), 0.8, 1e-12);
+}
+
+// ------------------------------------------------ parallel fan-out
+
+TEST(ParallelFlows, FlowSetsAreBitIdenticalToSerial) {
+  std::vector<MultiFlowConfig> sets;
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    MultiFlowConfig config;
+    config.seed = seed;
+    config.flows.push_back(
+        FlowSpec{.config = small_config(StackKind::kQuiche, 256 * 1024)});
+    config.flows.push_back(
+        FlowSpec{.config = small_config(StackKind::kPicoquic, 256 * 1024)});
+    sets.push_back(config);
+  }
+
+  const auto serial = ParallelRunner(1).run_flow_sets(sets);
+  const auto parallel = ParallelRunner(4).run_flow_sets(sets);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    ASSERT_EQ(serial[s].flows.size(), parallel[s].flows.size());
+    EXPECT_DOUBLE_EQ(serial[s].fairness, parallel[s].fairness);
+    for (std::size_t f = 0; f < serial[s].flows.size(); ++f) {
+      EXPECT_EQ(serial[s].flows[f].wire_hash, parallel[s].flows[f].wire_hash);
+    }
+  }
+}
+
+// ------------------------------------------------ dispatch auditing
+
+TEST(RunFlows, StrayFlowIdTripsDispatchAudit) {
+  if (!check::kAuditEnabled) GTEST_SKIP() << "audit compiled out";
+  std::vector<std::string> failures;
+  check::set_audit_handler([&failures](const check::AuditFailure& failure) {
+    failures.push_back(failure.to_string());
+  });
+
+  {
+    MultiFlowConfig config;
+    config.flows.push_back(
+        FlowSpec{.config = small_config(StackKind::kQuiche, 64 * 1024)});
+    config.flows.push_back(
+        FlowSpec{.config = small_config(StackKind::kQuiche, 64 * 1024)});
+    sim::EventLoop loop;
+    sim::Rng rng(config.seed);
+    std::vector<RunResult> live(config.flows.size());
+    framework::Network net(loop, config, rng, live);
+
+    // A packet whose flow id no endpoint registered: the old duel ternary
+    // would silently hand it to flow B; the flow table must audit.
+    net::Packet stray;
+    stray.flow = 99;
+    stray.kind = net::PacketKind::kQuicData;
+    stray.size_bytes = 1200;
+    net.path().wire_ingress()->deliver(stray);
+    loop.run_until(sim::Time::zero() + Duration::seconds(1));
+  }
+  check::set_audit_handler({});
+
+  ASSERT_FALSE(failures.empty());
+  EXPECT_NE(failures.front().find("unregistered flow 99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quicsteps

@@ -2,7 +2,11 @@
 // and the wire tap.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "check/audit.hpp"
 #include "net/data_rate.hpp"
+#include "net/flow_table.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/wire_tap.hpp"
@@ -154,6 +158,84 @@ TEST(Counters, ConservationArithmetic) {
   c.count_drop(100);
   EXPECT_EQ(c.packets_queued(), 0);
   EXPECT_EQ(c.bytes_in, 200);
+}
+
+Packet make_flow_packet(std::uint32_t flow, std::uint64_t id = 1) {
+  Packet p = make_packet(id);
+  p.flow = flow;
+  return p;
+}
+
+TEST(FlowTable, RoutesByFlowId) {
+  FlowTableSink table;
+  CollectorSink a;
+  CollectorSink b;
+  // Register out of order: lookup must not depend on insertion order.
+  table.add_route(9, &b);
+  table.add_route(7, &a);
+  EXPECT_EQ(table.route_count(), 2u);
+
+  table.deliver(make_flow_packet(7, 1));
+  table.deliver(make_flow_packet(7, 2));  // exercises the last-hit cache
+  table.deliver(make_flow_packet(9, 3));
+  table.deliver(make_flow_packet(7, 4));  // cache miss after flow switch
+
+  ASSERT_EQ(a.packets().size(), 3u);
+  ASSERT_EQ(b.packets().size(), 1u);
+  EXPECT_EQ(a.packets()[0].id, 1u);
+  EXPECT_EQ(a.packets()[2].id, 4u);
+  EXPECT_EQ(b.packets()[0].id, 3u);
+}
+
+TEST(FlowTable, DefaultRouteCatchesUnregisteredFlows) {
+  FlowTableSink table;
+  CollectorSink a;
+  CollectorSink fallback;
+  table.add_route(7, &a);
+  table.set_default_route(&fallback);
+
+  table.deliver(make_flow_packet(7, 1));
+  table.deliver(make_flow_packet(42, 2));
+
+  ASSERT_EQ(a.packets().size(), 1u);
+  ASSERT_EQ(fallback.packets().size(), 1u);
+  EXPECT_EQ(fallback.packets()[0].id, 2u);
+}
+
+TEST(FlowTable, UnregisteredFlowTripsAuditAndDrops) {
+  if (!check::kAuditEnabled) GTEST_SKIP() << "audit compiled out";
+  std::vector<std::string> failures;
+  check::set_audit_handler([&failures](const check::AuditFailure& failure) {
+    failures.push_back(failure.to_string());
+  });
+
+  FlowTableSink table;
+  CollectorSink a;
+  table.add_route(7, &a);
+  table.deliver(make_flow_packet(42, 1));  // no route, no default
+
+  check::set_audit_handler({});
+  EXPECT_TRUE(a.packets().empty());
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("unregistered flow 42"), std::string::npos);
+}
+
+TEST(FlowTable, DuplicateRegistrationTripsAudit) {
+  if (!check::kAuditEnabled) GTEST_SKIP() << "audit compiled out";
+  std::vector<std::string> failures;
+  check::set_audit_handler([&failures](const check::AuditFailure& failure) {
+    failures.push_back(failure.to_string());
+  });
+
+  FlowTableSink table;
+  CollectorSink first;
+  CollectorSink second;
+  table.add_route(7, &first);
+  table.add_route(7, &second);
+
+  check::set_audit_handler({});
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("registered twice"), std::string::npos);
 }
 
 TEST(Packet, GsoBufferPredicate) {
