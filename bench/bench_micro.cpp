@@ -12,6 +12,7 @@
 #include "metrics/gap_analyzer.hpp"
 #include "metrics/precision.hpp"
 #include "metrics/train_analyzer.hpp"
+#include "obs/trace.hpp"
 #include "pacing/interval_pacer.hpp"
 #include "pacing/leaky_bucket_pacer.hpp"
 #include "sim/event_loop.hpp"
@@ -265,6 +266,65 @@ BENCHMARK(BM_FlowDemuxSinglePass)
     ->Args({100000, 2})
     ->Args({100000, 4})
     ->Args({100000, 8});
+
+void BM_TraceSpanSite(benchmark::State& state) {
+  // One instrumented per-packet site with no bus installed: the runtime
+  // "tracing off" state (a pointer null check) in a QUICSTEPS_TRACE build,
+  // or the compiled-out macro in a -DQUICSTEPS_TRACE=OFF build.
+  // BENCH_micro.json's trace_overhead section records both builds next to
+  // the enabled state below.
+  obs::TraceBus* bus = nullptr;
+  const net::Packet pkt = bench_packet(1);
+  const sim::Time now;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus);  // the branch must stay in the loop
+    QUICSTEPS_TRACE_SPAN(bus, obs::TraceStage::kNicTx, 0, now, pkt);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanSite);
+
+void BM_TraceSpanPublish(benchmark::State& state) {
+  // The enabled state: a run opted in, every site appends a 48-byte span.
+  // The bus is drained outside the measured region so memory stays flat.
+  obs::TraceBus bus;
+  [[maybe_unused]] const std::uint16_t id = bus.register_component("bench");
+  const net::Packet pkt = bench_packet(1);
+  const sim::Time now;
+  obs::TraceBus* installed = obs::kTraceEnabled ? &bus : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(installed);
+    QUICSTEPS_TRACE_SPAN(installed, obs::TraceStage::kNicTx, id, now, pkt);
+    if (bus.events().size() >= (1u << 16)) {
+      state.PauseTiming();
+      obs::TraceData drained = bus.take();
+      benchmark::DoNotOptimize(drained.events.size());
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanPublish);
+
+void BM_RunWithTrace(benchmark::State& state) {
+  // Whole-run cost of path tracing through a real transfer: arg 0 runs
+  // untraced (spans compiled in, bus never installed), arg 1 records the
+  // full span stream plus the per-flow TraceData demux.
+  framework::ExperimentConfig config;
+  config.label = "bench";
+  config.stack = framework::StackKind::kQuicheSf;
+  config.payload_bytes = 1ll * 1024 * 1024;
+  config.repetitions = 1;
+  config.seed = 1;
+  config.trace = state.range(0) != 0;
+  for (auto _ : state) {
+    auto run = framework::Runner::run_once(config, config.seed);
+    benchmark::DoNotOptimize(run.packets_sent);
+    benchmark::DoNotOptimize(run.trace);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunWithTrace)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 std::vector<framework::ExperimentConfig> bench_grid() {
   std::vector<framework::ExperimentConfig> grid;

@@ -59,6 +59,10 @@
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/wire_tap.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/path_timeline.hpp"
+#include "obs/trace.hpp"
 #include "pacing/interval_pacer.hpp"
 #include "pacing/leaky_bucket_pacer.hpp"
 #include "pacing/pacer.hpp"

@@ -50,4 +50,23 @@ void write_summary_csv(std::ostream& out, const std::string& label,
       << run.cpu_time_ms << ',' << run.cc_rollbacks << '\n';
 }
 
+void write_path_qlog(std::ostream& out, const RunResult& run,
+                     const std::string& title) {
+  if (run.trace == nullptr) {
+    const obs::TraceData empty;
+    obs::write_path_qlog(out, empty, title);
+    return;
+  }
+  obs::write_path_qlog(out, *run.trace, title);
+}
+
+void write_path_trace_csv(std::ostream& out, const RunResult& run) {
+  if (run.trace == nullptr) {
+    const obs::TraceData empty;
+    obs::write_trace_csv(out, empty);
+    return;
+  }
+  obs::write_trace_csv(out, *run.trace);
+}
+
 }  // namespace quicsteps::framework

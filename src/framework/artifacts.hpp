@@ -10,6 +10,7 @@
 
 #include "framework/experiment.hpp"
 #include "net/packet.hpp"
+#include "obs/exporters.hpp"
 
 namespace quicsteps::framework {
 
@@ -31,5 +32,14 @@ void write_gaps_csv(std::ostream& out, const RunResult& run);
 /// losses, pacing metrics.
 void write_summary_csv(std::ostream& out, const std::string& label,
                        const RunResult& run, bool header);
+
+/// Writes a run's per-packet path trace (RunResult::trace) as path-qlog
+/// JSONL — header only when the run was untraced.
+void write_path_qlog(std::ostream& out, const RunResult& run,
+                     const std::string& title);
+
+/// Same trace as CSV (obs exporter column set) — header row only when the
+/// run was untraced.
+void write_path_trace_csv(std::ostream& out, const RunResult& run);
 
 }  // namespace quicsteps::framework

@@ -96,12 +96,23 @@ class QuicEndpoint final : public FlowEndpoint {
 
   bool complete() const override { return client_->complete(); }
 
+  void set_trace(obs::TraceBus& bus, const std::string& prefix) override {
+    const std::uint16_t id = bus.register_component(prefix + "stack");
+    if (stack_ != nullptr) {
+      stack_->set_trace(&bus, id, bus.register_component(prefix + "socket"));
+    } else {
+      ideal_->set_trace(&bus, id);  // the ideal server has no socket
+    }
+  }
+
   void fill_result(RunResult& result) const override {
     const quic::Connection& conn = connection();
     result.completed = client_->complete();
     result.packets_sent = conn.stats().packets_sent;
     result.packets_declared_lost = conn.stats().packets_declared_lost;
     result.retransmissions = conn.stats().packets_retransmitted;
+    result.pacer_releases = conn.pacer().stats().packets_released;
+    result.pacer_deferrals = conn.pacer().stats().deferrals;
     if (const auto* cubic =
             dynamic_cast<const cc::Cubic*>(&conn.controller())) {
       result.cc_rollbacks = cubic->rollbacks_performed();

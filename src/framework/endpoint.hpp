@@ -12,9 +12,12 @@
 #include <cstdint>
 #include <memory>
 
+#include <string>
+
 #include "framework/experiment.hpp"
 #include "kernel/os_model.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 
 namespace quicsteps::framework {
@@ -34,6 +37,14 @@ class FlowEndpoint {
   virtual net::PacketSink& ack_ingress() = 0;
 
   virtual bool complete() const = 0;
+
+  /// Installs path tracing on the endpoint's user-space components (stack
+  /// and socket), registering them on `bus` under `prefix`. Default: the
+  /// endpoint has no traceable user-space stages (TCP baseline).
+  virtual void set_trace(obs::TraceBus& bus, const std::string& prefix) {
+    (void)bus;
+    (void)prefix;
+  }
 
   /// Endpoint-side result fields: completion, sender stats, goodput.
   /// Wire-derived fields (gaps, trains, precision, hash, drops) come from

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "framework/topology.hpp"
+#include "obs/trace.hpp"
 #include "quic/app_source.hpp"
 #include "metrics/gap_analyzer.hpp"
 #include "metrics/goodput.hpp"
@@ -53,6 +54,10 @@ struct ExperimentConfig {
   /// Write a qlog JSON-SEQ trace of the server connection to this path
   /// (empty = no trace). One file per repetition: "<path>.<rep>".
   std::string qlog_path;
+  /// Record per-packet path spans (pacer release through delivery) on the
+  /// run's TraceBus; the finished trace lands in RunResult::trace. Requires
+  /// a QUICSTEPS_TRACE build (silently off otherwise).
+  bool trace = false;
 
   ExperimentConfig& with(StackKind s, cc::CcAlgorithm a) {
     stack = s;
@@ -82,6 +87,15 @@ struct RunResult {
   std::int64_t send_syscalls = 0;
   double cpu_time_ms = 0.0;
   std::int64_t cc_rollbacks = 0;
+  /// Pacer ledger (QUIC flows): packets the pacer released and how often
+  /// it made the stack wait.
+  std::int64_t pacer_releases = 0;
+  std::int64_t pacer_deferrals = 0;
+
+  /// This flow's per-packet path spans when ExperimentConfig::trace was
+  /// set (component table shared across flows; events filtered to the
+  /// flow). Null otherwise.
+  std::shared_ptr<const obs::TraceData> trace;
 
   /// Full tap capture when ExperimentConfig::keep_capture is set.
   std::shared_ptr<const std::vector<net::Packet>> capture;

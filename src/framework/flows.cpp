@@ -7,6 +7,7 @@
 #include "check/determinism_hasher.hpp"
 #include "framework/runner.hpp"
 #include "metrics/capture_analysis.hpp"
+#include "obs/path_timeline.hpp"
 
 namespace quicsteps::framework {
 
@@ -90,6 +91,16 @@ void Network::start() {
   }
 }
 
+void Network::set_trace(obs::TraceBus& bus) {
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    const std::string prefix =
+        hosts_.size() == 1 ? std::string()
+                           : "host" + std::to_string(i) + "/";
+    hosts_[i]->set_trace(bus, prefix);
+  }
+  path_->set_trace(bus);
+}
+
 net::CountersTable Network::counters_table() const {
   net::CountersTable table;
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
@@ -149,6 +160,16 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
   Network net(loop, config, rng, result.flows);
   const std::size_t n = net.flow_count();
 
+  // One bus serves the whole network; it is installed only when a flow
+  // opted in, so an untraced run keeps every component's bus pointer null
+  // (the runtime no-op path BENCH_micro measures).
+  obs::TraceBus trace_bus;
+  bool tracing = false;
+  for (const FlowSpec& spec : config.flows) {
+    if (spec.config.trace) tracing = true;
+  }
+  if (tracing && obs::kTraceEnabled) net.set_trace(trace_bus);
+
   // All per-flow metrics derive from the shared tap; one incremental pass
   // demuxes each departure into its flow's analyzer, determinism hash,
   // and (when requested) retained capture — the capture is walked once
@@ -192,6 +213,12 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
                     "tap and bottleneck disagree on wire packet count");
   }
 
+  // Demux the shared bus into per-flow traces: each traced flow gets the
+  // full component table plus only its own spans (ACKs included — they
+  // carry the flow's id on the return path).
+  obs::TraceData all_spans;
+  if (tracing) all_spans = trace_bus.take();
+
   std::vector<double> goodputs(n);
   for (std::size_t i = 0; i < n; ++i) {
     RunResult& flow_result = result.flows[i];
@@ -207,10 +234,58 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
     if (captures[i] != nullptr) {
       flow_result.capture = std::move(captures[i]);
     }
+    if (tracing && config.flows[i].config.trace) {
+      const std::uint32_t id = net.host(i).flow_id();
+      auto flow_trace = std::make_shared<obs::TraceData>();
+      flow_trace->components = all_spans.components;
+      for (const obs::SpanEvent& ev : all_spans.events) {
+        if (ev.flow == id) flow_trace->events.push_back(ev);
+      }
+      flow_result.trace = std::move(flow_trace);
+    }
     goodputs[i] = flow_result.goodput.goodput.mbps();
   }
   result.fairness = jain_index(goodputs);
   result.bottleneck_drops = net.path().bottleneck_drops();
+
+  // Self-measurement: fold the counter table, the loop profile, and the
+  // per-flow ledgers into one deterministic registry.
+  result.counters = net.counters_table();
+  obs::MetricsRegistry& reg = result.metrics;
+  reg.add_counters_table("", result.counters);
+  const sim::LoopStats& ls = loop.stats();
+  for (std::size_t c = 0; c < sim::kEventClassCount; ++c) {
+    const char* cls = sim::to_string(static_cast<sim::EventClass>(c));
+    reg.add_counter(std::string("loop/scheduled/") + cls,
+                    static_cast<std::int64_t>(ls.scheduled[c]));
+    reg.add_counter(std::string("loop/executed/") + cls,
+                    static_cast<std::int64_t>(ls.executed[c]));
+  }
+  reg.add_counter("loop/cancelled", static_cast<std::int64_t>(ls.cancelled));
+  reg.add_counter("loop/overflow_scheduled",
+                  static_cast<std::int64_t>(ls.overflow_scheduled));
+  reg.set_gauge("loop/max_pending",
+                static_cast<std::int64_t>(ls.max_pending));
+  for (std::size_t i = 0; i < n; ++i) {
+    const RunResult& flow_result = result.flows[i];
+    const std::string flow_prefix =
+        "flow" + std::to_string(net.host(i).flow_id()) + "/";
+    reg.set_gauge(flow_prefix + "bottleneck_drops",
+                  flow_result.dropped_packets);
+    reg.add_counter(flow_prefix + "pacer_releases",
+                    flow_result.pacer_releases);
+    reg.add_counter(flow_prefix + "pacer_deferrals",
+                    flow_result.pacer_deferrals);
+    if (flow_result.trace != nullptr) {
+      const auto timelines = obs::build_timelines(*flow_result.trace);
+      reg.set_gauge(flow_prefix + "complete_chains",
+                    obs::count_complete(timelines));
+      for (const obs::StageErrorReport& se : obs::stage_errors(timelines)) {
+        reg.histogram(flow_prefix + "pacing_error/" +
+                      obs::to_string(se.stage)) = se.error_us;
+      }
+    }
+  }
   return result;
 }
 

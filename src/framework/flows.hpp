@@ -17,9 +17,13 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "framework/endpoint.hpp"
 #include "framework/experiment.hpp"
 #include "framework/network.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
 
@@ -52,6 +56,14 @@ struct MultiFlowResult {
   double fairness = 0.0;
   /// Total bottleneck drops across all flows.
   std::int64_t bottleneck_drops = 0;
+  /// Per-component packet/byte books for every stage of the run (sender
+  /// qdiscs, bottleneck, netems) — the same rows the conservation auditor
+  /// checks, now part of the result.
+  net::CountersTable counters;
+  /// Everything the run measured about itself: counter-table gauges,
+  /// event-loop profile per event class, per-flow pacer ledgers and drop
+  /// attribution, and (when tracing) per-stage pacing-error histograms.
+  obs::MetricsRegistry metrics;
 };
 
 /// One sender host: OS + kernel egress chain + endpoint, attached to the
@@ -73,6 +85,13 @@ class SenderHost {
   const kernel::Qdisc& qdisc() const { return path_.qdisc(); }
   FlowEndpoint& endpoint() { return *endpoint_; }
   const FlowEndpoint& endpoint() const { return *endpoint_; }
+
+  /// Installs tracing on this host's user-space (stack, socket) and kernel
+  /// (qdisc, NIC) components, registered under `prefix` in path order.
+  void set_trace(obs::TraceBus& bus, const std::string& prefix) {
+    endpoint_->set_trace(bus, prefix);
+    path_.set_trace(bus, prefix);
+  }
 
  private:
   std::uint32_t flow_id_;
@@ -109,6 +128,11 @@ class Network {
   /// multi-host networks prefix per-sender stages with "host<i>/".
   net::CountersTable counters_table() const;
   check::ConservationAuditor conservation_auditor() const;
+
+  /// Installs tracing on every host and the shared path. Component ids are
+  /// assigned in wiring order (hosts in flows[] order, then the path), so
+  /// the table is a pure function of the config.
+  void set_trace(obs::TraceBus& bus);
 
  private:
   sim::EventLoop& loop_;

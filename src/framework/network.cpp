@@ -40,6 +40,12 @@ SenderPath::SenderPath(sim::EventLoop& loop, const TopologyConfig& config,
   }
 }
 
+void SenderPath::set_trace(obs::TraceBus& bus, const std::string& prefix) {
+  qdisc_->set_trace(
+      &bus, bus.register_component(prefix + "qdisc/" + qdisc_->name()));
+  nic_->set_trace(&bus, bus.register_component(prefix + "nic"));
+}
+
 BottleneckPath::BottleneckPath(sim::EventLoop& loop,
                                const TopologyConfig& config, sim::Rng& rng,
                                kernel::OsModel& server_recv_os)
@@ -93,6 +99,17 @@ void BottleneckPath::add_counters(net::CountersTable& table) const {
   table.add("bottleneck/tbf", bottleneck_.counters());
   table.add("path/data_netem", data_netem_.counters());
   table.add("path/ack_netem", ack_netem_.counters());
+}
+
+void BottleneckPath::set_trace(obs::TraceBus& bus) {
+  // Registration order is wire order; the names mirror add_counters rows
+  // so the trace's component table and the counter table line up.
+  tap_->set_trace(&bus, bus.register_component("wire/tap"));
+  bottleneck_.set_trace(&bus, bus.register_component("bottleneck/tbf"));
+  data_netem_.set_trace(&bus, bus.register_component("path/data_netem"));
+  client_receiver_->set_trace(&bus, bus.register_component("client/udp_rx"));
+  ack_netem_.set_trace(&bus, bus.register_component("path/ack_netem"));
+  server_receiver_->set_trace(&bus, bus.register_component("server/udp_rx"));
 }
 
 void BottleneckPath::add_conservation_stages(

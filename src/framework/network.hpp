@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "check/conservation_auditor.hpp"
 #include "framework/topology.hpp"
@@ -33,6 +34,7 @@
 #include "net/counters.hpp"
 #include "net/flow_table.hpp"
 #include "net/wire_tap.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
 
@@ -50,6 +52,10 @@ class SenderPath {
   kernel::Qdisc& qdisc() { return *qdisc_; }
   const kernel::Qdisc& qdisc() const { return *qdisc_; }
   const kernel::Nic& nic() const { return *nic_; }
+
+  /// Registers this sender's kernel stages (qdisc, NIC) on `bus` under
+  /// `prefix` and installs their span hookups.
+  void set_trace(obs::TraceBus& bus, const std::string& prefix);
 
  private:
   std::unique_ptr<kernel::Nic> nic_;
@@ -103,6 +109,11 @@ class BottleneckPath {
   /// this path's counters — audit() while it is alive.
   void add_counters(net::CountersTable& table) const;
   void add_conservation_stages(check::ConservationAuditor& auditor) const;
+
+  /// Registers every shared stage (tap, bottleneck, netems, receivers) on
+  /// `bus` and installs their span hookups — component names match the
+  /// counter-table rows.
+  void set_trace(obs::TraceBus& bus);
 
  private:
   kernel::OsModel client_os_;

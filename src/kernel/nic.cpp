@@ -18,6 +18,8 @@ void Nic::deliver(net::Packet pkt) {
     for (const auto& seg : segments) {
       net::Packet wire = seg;
       wire.kernel_entry_time = pkt.kernel_entry_time;
+      QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kGsoSegment,
+                           trace_component_, now, wire);
       transmit(std::move(wire), release);
       if (paced) {
         release += pkt.gso_pacing_rate.transmit_time(seg.size_bytes);
@@ -46,7 +48,10 @@ void Nic::transmit(net::Packet pkt, sim::Time earliest) {
   const sim::Duration tx = config_.line_rate.transmit_time(pkt.size_bytes);
   busy_until_ = start + tx;
   ++packets_sent_;
-  loop_.schedule_at(busy_until_, [this, pkt = std::move(pkt)]() mutable {
+  QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kNicTx, trace_component_,
+                       start, pkt);
+  loop_.schedule_at(busy_until_, sim::EventClass::kTransmit,
+                    [this, pkt = std::move(pkt)]() mutable {
     if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));
   });
 }

@@ -13,11 +13,12 @@
 
 #include "kernel/os_model.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 
 namespace quicsteps::kernel {
 
-class Nic final : public net::PacketSink {
+class Nic final : public net::PacketSink, public obs::TraceSource {
  public:
   struct Config {
     net::DataRate line_rate = net::DataRate::gigabits_per_second(1);

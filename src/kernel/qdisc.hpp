@@ -15,11 +15,12 @@
 #include "check/audit.hpp"
 #include "net/counters.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 
 namespace quicsteps::kernel {
 
-class Qdisc : public net::PacketSink {
+class Qdisc : public net::PacketSink, public obs::TraceSource {
  public:
   Qdisc(sim::EventLoop& loop, std::string name, net::PacketSink* downstream)
       : loop_(loop), name_(std::move(name)), downstream_(downstream) {}
@@ -36,21 +37,33 @@ class Qdisc : public net::PacketSink {
   }
 
  protected:
+  // note_arrival/forward/drop are the one funnel every discipline's
+  // packets pass through, so instrumenting them here gives all six qdiscs
+  // (sender disciplines, the bottleneck TBF, both netems) their
+  // enqueue/dequeue/drop spans without per-subclass hooks.
   void forward(net::Packet pkt) {
     counters_.count_out(pkt.size_bytes);
     // A qdisc can only forward what it accepted: emitting an uncounted
     // (duplicated or conjured) packet drives the implied backlog negative.
     QUICSTEPS_AUDIT(counters_.packets_queued() >= 0,
                     name_ + " forwarded a packet it never enqueued");
+    QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kQdiscDequeue,
+                         trace_component_, loop_.now(), pkt);
     if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));
   }
   void drop(const net::Packet& pkt) {
     counters_.count_drop(pkt.size_bytes);
     QUICSTEPS_AUDIT(counters_.packets_queued() >= 0,
                     name_ + " dropped a packet it never enqueued");
+    QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kQdiscDrop,
+                         trace_component_, loop_.now(), pkt);
     if (drop_observer_) drop_observer_(pkt);
   }
-  void note_arrival(const net::Packet& pkt) { counters_.count_in(pkt.size_bytes); }
+  void note_arrival(const net::Packet& pkt) {
+    counters_.count_in(pkt.size_bytes);
+    QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kQdiscEnqueue,
+                         trace_component_, loop_.now(), pkt);
+  }
 
   sim::EventLoop& loop_;
 

@@ -36,7 +36,8 @@ void FqQdisc::arm_watchdog() {
   // packets due by then leave in one softirq.
   watchdog_at_ = head;
   const sim::Time fire = head + os_.draw_kernel_release_delay();
-  watchdog_ = loop_.schedule_at(fire, [this] { on_watchdog(); });
+  watchdog_ = loop_.schedule_at(fire, sim::EventClass::kQueue,
+                                [this] { on_watchdog(); });
 }
 
 void FqQdisc::on_watchdog() {

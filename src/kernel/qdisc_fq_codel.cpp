@@ -22,7 +22,7 @@ void FqCodelQdisc::schedule_drain() {
   const sim::Duration tx =
       config_.drain_rate.transmit_time(queue_.front().pkt.size_bytes);
   drain_free_ = start + tx;
-  loop_.schedule_at(drain_free_, [this] {
+  loop_.schedule_at(drain_free_, sim::EventClass::kQueue, [this] {
     drain_scheduled_ = false;
     drain_one();
     schedule_drain();

@@ -55,10 +55,11 @@ class NetemQdisc final : public Qdisc {
       d = sim::max(d - config_.reorder_gap, sim::Duration::zero());
       ++reordered_;
     }
-    loop_.schedule_after(d, [this, pkt = std::move(pkt)]() mutable {
-      --in_flight_;
-      forward(std::move(pkt));
-    });
+    loop_.schedule_after(d, sim::EventClass::kDelay,
+                         [this, pkt = std::move(pkt)]() mutable {
+                           --in_flight_;
+                           forward(std::move(pkt));
+                         });
   }
 
   std::int64_t in_flight() const { return in_flight_; }

@@ -55,7 +55,8 @@ void TbfQdisc::try_release() {
   const sim::Time due =
       now + sim::Duration::nanos(static_cast<std::int64_t>(seconds * 1e9) + 1);
   if (wake_.pending()) return;  // a wakeup is already scheduled
-  wake_ = loop_.schedule_at(due, [this] { try_release(); });
+  wake_ = loop_.schedule_at(due, sim::EventClass::kQueue,
+                            [this] { try_release(); });
 }
 
 }  // namespace quicsteps::kernel

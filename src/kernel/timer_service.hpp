@@ -33,7 +33,8 @@ class TimerService {
   /// Arms a one-shot timer for `at`; fires at the OS-adjusted instant with
   /// the actual time passed to the callback. Returns a cancellable handle.
   sim::EventHandle arm(sim::Time at, std::function<void()> fn) {
-    return loop_.schedule_at(adjusted_fire_time(at), std::move(fn));
+    return loop_.schedule_at(adjusted_fire_time(at), sim::EventClass::kTimer,
+                             std::move(fn));
   }
 
   /// The instant a wakeup requested for `at` would actually fire.

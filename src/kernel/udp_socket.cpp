@@ -6,6 +6,8 @@ void UdpSocket::inject(net::Packet pkt) {
   pkt.kernel_entry_time = loop_.now();
   counters_.count_in(pkt.size_bytes);
   counters_.count_out(pkt.size_bytes);
+  QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kSocketWrite,
+                       trace_component_, pkt.kernel_entry_time, pkt);
   if (egress_ != nullptr) egress_->deliver(std::move(pkt));
 }
 
@@ -45,11 +47,14 @@ void UdpReceiver::deliver(net::Packet pkt) {
   pkt.delivery_time = loop_.now();
 
   if (gro_window_.is_zero()) {
-    loop_.schedule_after(os_.draw_wakeup_latency(),
+    loop_.schedule_after(os_.draw_wakeup_latency(), sim::EventClass::kWakeup,
                          [this, pkt = std::move(pkt)]() mutable {
                            ++wakeups_;
                            buffered_bytes_ -= pkt.size_bytes;
                            counters_.count_out(pkt.size_bytes);
+                           QUICSTEPS_TRACE_SPAN(
+                               trace_bus_, obs::TraceStage::kDelivery,
+                               trace_component_, loop_.now(), pkt);
                            if (handler_) handler_(std::move(pkt));
                          });
     return;
@@ -59,8 +64,9 @@ void UdpReceiver::deliver(net::Packet pkt) {
   // unflushed packet; one wakeup delivers the whole batch.
   gro_batch_.push_back(std::move(pkt));
   if (!gro_timer_.pending()) {
-    gro_timer_ = loop_.schedule_after(
-        gro_window_ + os_.draw_wakeup_latency(), [this] { flush(); });
+    gro_timer_ =
+        loop_.schedule_after(gro_window_ + os_.draw_wakeup_latency(),
+                             sim::EventClass::kWakeup, [this] { flush(); });
   }
 }
 
@@ -71,6 +77,8 @@ void UdpReceiver::flush() {
   for (auto& pkt : batch) {
     buffered_bytes_ -= pkt.size_bytes;
     counters_.count_out(pkt.size_bytes);
+    QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kDelivery,
+                         trace_component_, loop_.now(), pkt);
     if (handler_) handler_(std::move(pkt));
   }
 }

@@ -19,11 +19,12 @@
 #include "kernel/os_model.hpp"
 #include "net/counters.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 
 namespace quicsteps::kernel {
 
-class UdpSocket {
+class UdpSocket : public obs::TraceSource {
  public:
   UdpSocket(sim::EventLoop& loop, OsModel& os, net::PacketSink* egress)
       : loop_(loop), os_(os), egress_(egress) {}
@@ -68,7 +69,7 @@ class UdpSocket {
 /// wakeup (Generic Receive Offload): fewer recvmsg calls, but the receiver
 /// sees — and acknowledges — bursts, which chops the ACK clock the sender
 /// paces against.
-class UdpReceiver final : public net::PacketSink {
+class UdpReceiver final : public net::PacketSink, public obs::TraceSource {
  public:
   using Handler = std::function<void(net::Packet)>;
 

@@ -8,11 +8,12 @@ namespace quicsteps::net {
 std::string Counters::to_string() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "in=%lld out=%lld dropped=%lld queued=%lld",
+                "in=%lld out=%lld dropped=%lld queued=%lld peak=%lld",
                 static_cast<long long>(packets_in),
                 static_cast<long long>(packets_out),
                 static_cast<long long>(packets_dropped),
-                static_cast<long long>(packets_queued()));
+                static_cast<long long>(packets_queued()),
+                static_cast<long long>(packets_queued_peak));
   return buf;
 }
 

@@ -19,10 +19,16 @@ struct Counters {
   std::int64_t bytes_out = 0;
   std::int64_t packets_dropped = 0;
   std::int64_t bytes_dropped = 0;
+  /// High-water mark of packets_queued() — the queue-depth gauge the
+  /// observability registry reports per component.
+  std::int64_t packets_queued_peak = 0;
 
   void count_in(std::int64_t bytes) {
     ++packets_in;
     bytes_in += bytes;
+    if (packets_queued() > packets_queued_peak) {
+      packets_queued_peak = packets_queued();
+    }
   }
   void count_out(std::int64_t bytes) {
     ++packets_out;

@@ -11,17 +11,20 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 
 namespace quicsteps::net {
 
-class WireTap final : public PacketSink {
+class WireTap final : public PacketSink, public obs::TraceSource {
  public:
   WireTap(sim::EventLoop& loop, PacketSink* downstream)
       : loop_(loop), downstream_(downstream) {}
 
   void deliver(Packet pkt) override {
     pkt.wire_time = loop_.now();
+    QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kWire,
+                         trace_component_, pkt.wire_time, pkt);
     capture_.push_back(pkt);
     if (on_packet_) on_packet_(pkt);
     if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));

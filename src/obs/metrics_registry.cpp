@@ -1,0 +1,89 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace quicsteps::obs {
+
+std::vector<std::int64_t> Histogram::pacing_error_bounds_us() {
+  // Symmetric decades around zero: early releases are as interesting as
+  // late ones, and the paper's precision spreads live between 1 us and a
+  // few ms.
+  return {-10'000, -1'000, -100, -10, 0, 10, 100, 1'000, 10'000, 100'000};
+}
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe(std::int64_t value) {
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+std::string Histogram::to_string() const {
+  std::string out = "count=" + std::to_string(count_) +
+                    " sum=" + std::to_string(sum_) +
+                    " min=" + std::to_string(min_) +
+                    " max=" + std::to_string(max_);
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    out += " le" + std::to_string(bounds_[i]) + "=" +
+           std::to_string(counts_[i]);
+  }
+  out += " rest=" + std::to_string(counts_.back());
+  return out;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, std::int64_t value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+void MetricsRegistry::add_counters_table(const std::string& prefix,
+                                         const net::CountersTable& table) {
+  for (const auto& [name, counters] : table.rows()) {
+    const std::string base = prefix + name;
+    set_gauge(base + "/packets_in", counters.packets_in);
+    set_gauge(base + "/packets_out", counters.packets_out);
+    set_gauge(base + "/packets_dropped", counters.packets_dropped);
+    set_gauge(base + "/queue_peak", counters.packets_queued_peak);
+  }
+}
+
+std::string MetricsRegistry::to_string() const {
+  // Merge the three ordered maps into one name-sorted emission; the kind
+  // tag keeps a gauge and a counter of the same name distinguishable.
+  std::vector<std::pair<std::string, std::string>> lines;
+  lines.reserve(gauges_.size() + counters_.size() + histograms_.size());
+  for (const auto& [name, value] : gauges_) {
+    lines.emplace_back(name, name + ": gauge " + std::to_string(value));
+  }
+  for (const auto& [name, value] : counters_) {
+    lines.emplace_back(name, name + ": counter " + std::to_string(value));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    lines.emplace_back(name, name + ": histogram " + hist.to_string());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& [name, line] : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace quicsteps::obs

@@ -1,0 +1,94 @@
+// MetricsRegistry: one deterministic sink for everything a run measures
+// about itself.
+//
+// net::Counters snapshots (per-component packet/byte books), gauges (queue
+// depth high-water marks, loop max-pending), counters (events executed per
+// class, pacer releases), and histograms (pacing error per path stage) all
+// land here and are emitted through the same sorted-name discipline as
+// net::CountersTable: rows are rendered in ascending metric-name order, so
+// output is identical across runs and job counts regardless of insertion
+// order. Ordered std::map storage makes the walk itself deterministic —
+// the analyzer's determinism/exporter-unordered rule keeps it that way.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/counters.hpp"
+
+namespace quicsteps::obs {
+
+/// Fixed-bound histogram over microsecond-scale values (pacing errors).
+/// Bounds are inclusive upper edges; one implicit overflow bucket catches
+/// the rest. Integer counts plus an exact integer sum keep rendering
+/// deterministic (no float accumulation-order dependence).
+class Histogram {
+ public:
+  /// Default edges for pacing-error distributions, in microseconds.
+  static std::vector<std::int64_t> pacing_error_bounds_us();
+
+  Histogram() : Histogram(pacing_error_bounds_us()) {}
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t value);
+
+  std::int64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return min_; }
+  std::int64_t max() const { return max_; }
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// bucket_counts()[i] counts values <= bounds()[i]; the final entry is
+  /// the overflow bucket.
+  const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
+
+  /// "count=5 sum=120 min=-3 max=60 le10=2 le100=3 ..." — sorted-edge,
+  /// fixed-format rendering.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> bounds_;  // ascending upper edges
+  std::vector<std::int64_t> counts_;  // bounds_.size() + 1 (overflow)
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Sets a point-in-time value (last write wins).
+  void set_gauge(const std::string& name, std::int64_t value);
+  /// Accumulates into a monotonic counter.
+  void add_counter(const std::string& name, std::int64_t delta);
+  /// Returns the named histogram, creating it with default pacing-error
+  /// bounds on first use.
+  Histogram& histogram(const std::string& name);
+
+  /// Folds a whole counters table in: each row becomes gauges under
+  /// "<prefix><row>/..." (in, out, dropped, queue_peak).
+  void add_counters_table(const std::string& prefix,
+                          const net::CountersTable& table);
+
+  const std::map<std::string, std::int64_t>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// One "name: value" line per metric, ascending name order across all
+  /// three kinds (gauge / counter / histogram annotated by kind).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace quicsteps::obs

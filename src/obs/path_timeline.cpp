@@ -1,0 +1,98 @@
+#include "obs/path_timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace quicsteps::obs {
+
+bool PacketTimeline::has_stage(TraceStage stage) const {
+  for (const SpanEvent& ev : spans) {
+    if (ev.stage == stage) return true;
+  }
+  return false;
+}
+
+sim::Time PacketTimeline::stage_time(TraceStage stage) const {
+  for (const SpanEvent& ev : spans) {
+    if (ev.stage == stage) return ev.at;
+  }
+  return sim::Time::infinite();
+}
+
+namespace {
+
+std::vector<PacketTimeline> build(const TraceData& data, bool filter,
+                                  std::uint32_t flow) {
+  // Packet ids are unique per sender packet; retransmissions reuse a
+  // packet number under a fresh id, so id is the grouping key and the
+  // number is carried along for display. Ordered map = deterministic walk.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, PacketTimeline> by_key;
+  for (const SpanEvent& ev : data.events) {
+    if (filter && ev.flow != flow) continue;
+    PacketTimeline& tl = by_key[{ev.flow, ev.packet_id}];
+    if (tl.spans.empty()) {
+      tl.flow = ev.flow;
+      tl.packet_id = ev.packet_id;
+      tl.packet_number = ev.packet_number;
+    }
+    if (tl.intended.ns() == 0 && ev.intended.ns() != 0) {
+      tl.intended = ev.intended;
+    }
+    tl.spans.push_back(ev);
+  }
+
+  std::vector<PacketTimeline> out;
+  out.reserve(by_key.size());
+  for (auto& [key, tl] : by_key) out.push_back(std::move(tl));
+  std::sort(out.begin(), out.end(),
+            [](const PacketTimeline& a, const PacketTimeline& b) {
+              if (a.flow != b.flow) return a.flow < b.flow;
+              const sim::Time ta = a.spans.front().at;
+              const sim::Time tb = b.spans.front().at;
+              if (ta != tb) return ta < tb;
+              return a.packet_id < b.packet_id;
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<PacketTimeline> build_timelines(const TraceData& data) {
+  return build(data, false, 0);
+}
+
+std::vector<PacketTimeline> build_timelines(const TraceData& data,
+                                            std::uint32_t flow) {
+  return build(data, true, flow);
+}
+
+std::vector<StageErrorReport> stage_errors(
+    const std::vector<PacketTimeline>& timelines) {
+  std::vector<StageErrorReport> reports(kTraceStageCount);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    reports[i].stage = static_cast<TraceStage>(i);
+  }
+  for (const PacketTimeline& tl : timelines) {
+    if (tl.intended.ns() == 0) continue;  // no pacer intent to diff against
+    for (const SpanEvent& ev : tl.spans) {
+      reports[static_cast<std::size_t>(ev.stage)].error_us.observe(
+          (ev.at - tl.intended).us());
+    }
+  }
+  std::vector<StageErrorReport> out;
+  for (StageErrorReport& report : reports) {
+    if (report.error_us.count() > 0) out.push_back(std::move(report));
+  }
+  return out;
+}
+
+std::int64_t count_complete(const std::vector<PacketTimeline>& timelines) {
+  std::int64_t n = 0;
+  for (const PacketTimeline& tl : timelines) {
+    if (tl.complete()) ++n;
+  }
+  return n;
+}
+
+}  // namespace quicsteps::obs

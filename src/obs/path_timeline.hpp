@@ -1,0 +1,66 @@
+// Per-packet path reconstruction from a finished trace.
+//
+// Groups a TraceData's spans by (flow, packet id) into one timeline per
+// wire packet, in path order, and derives the study's core quantity: the
+// pacing error at every stage — span time minus the pacer's intended send
+// time — so "where did the schedule slip" is answerable per layer, not
+// just at the tap (metrics::PrecisionReport measures only the wire stage;
+// the wire-stage statistics here must and do agree with it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace quicsteps::obs {
+
+/// One packet's journey, spans in publication (= simulated time) order.
+struct PacketTimeline {
+  std::uint32_t flow = 0;
+  std::uint64_t packet_id = 0;
+  std::uint64_t packet_number = 0;
+  sim::Time intended;  // pacer intent (zero when the packet had none)
+  std::vector<SpanEvent> spans;
+
+  bool has_stage(TraceStage stage) const;
+  /// Time of the first span at `stage`, or Time::infinite() when absent.
+  sim::Time stage_time(TraceStage stage) const;
+  /// A chain that starts at the pacer and ends at delivery.
+  bool complete() const {
+    return has_stage(TraceStage::kPacerRelease) &&
+           has_stage(TraceStage::kDelivery);
+  }
+  bool dropped() const { return has_stage(TraceStage::kQdiscDrop); }
+};
+
+/// Per-stage pacing-error aggregation (microseconds).
+struct StageErrorReport {
+  TraceStage stage = TraceStage::kPacerRelease;
+  Histogram error_us;
+  double mean_us() const {
+    return error_us.count() == 0
+               ? 0.0
+               : static_cast<double>(error_us.sum()) /
+                     static_cast<double>(error_us.count());
+  }
+};
+
+/// Timelines for every packet in `data` (all flows; filter with the
+/// overload below), sorted by (flow, first span time, packet id) — a
+/// deterministic order independent of map internals.
+std::vector<PacketTimeline> build_timelines(const TraceData& data);
+std::vector<PacketTimeline> build_timelines(const TraceData& data,
+                                            std::uint32_t flow);
+
+/// Pacing error per stage across all timelines that carry a pacer intent,
+/// stages in path order. Only stages that observed at least one such
+/// packet appear.
+std::vector<StageErrorReport> stage_errors(
+    const std::vector<PacketTimeline>& timelines);
+
+/// Timelines that start at the pacer and end at delivery.
+std::int64_t count_complete(const std::vector<PacketTimeline>& timelines);
+
+}  // namespace quicsteps::obs

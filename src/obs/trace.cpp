@@ -1,0 +1,29 @@
+#include "obs/trace.hpp"
+
+namespace quicsteps::obs {
+
+const char* to_string(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kPacerRelease:
+      return "transport:pacer_release";
+    case TraceStage::kSocketWrite:
+      return "kernel:socket_write";
+    case TraceStage::kQdiscEnqueue:
+      return "kernel:qdisc_enqueue";
+    case TraceStage::kQdiscDequeue:
+      return "kernel:qdisc_dequeue";
+    case TraceStage::kQdiscDrop:
+      return "kernel:qdisc_drop";
+    case TraceStage::kGsoSegment:
+      return "kernel:gso_segment";
+    case TraceStage::kNicTx:
+      return "kernel:nic_tx";
+    case TraceStage::kWire:
+      return "wire:packet_departure";
+    case TraceStage::kDelivery:
+      return "transport:datagram_received";
+  }
+  return "transport:pacer_release";
+}
+
+}  // namespace quicsteps::obs

@@ -1,0 +1,179 @@
+// Cross-layer path tracing: the TraceBus and its span vocabulary.
+//
+// The paper's thesis is that a pacer's intent is reshaped by every layer
+// below it — qdisc, GSO, NIC offload — yet qlog goes blind at the socket.
+// The TraceBus restores sight: each component on the path publishes a typed
+// SpanEvent per packet (pacer release, socket write, qdisc enqueue/dequeue/
+// drop, GSO segmentation, NIC serialization, wire-tap departure, receiver
+// delivery), keyed by flow id + packet number, so a packet's full journey
+// can be reconstructed and diffed against its intended txtime
+// (obs/path_timeline.hpp) and exported as path-qlog JSONL or CSV
+// (obs/exporters.hpp).
+//
+// Cost discipline, mirroring check/audit.hpp:
+//   * compile-time gate — every QUICSTEPS_TRACE_SPAN() site compiles to
+//     nothing unless the build defines QUICSTEPS_TRACE_ENABLED (CMake
+//     option QUICSTEPS_TRACE, default ON);
+//   * runtime sink check — an instrumented component holds a TraceBus
+//     pointer that is null unless a run opted in (ExperimentConfig::trace),
+//     so a compiled-in-but-disabled site costs one predictable branch.
+// BENCH_micro's trace_overhead section quantifies both states.
+//
+// Determinism: spans are appended in event-loop execution order, which is a
+// pure function of the seed; component ids are assigned in wiring order.
+// Serial and parallel runs of one (config, seed) therefore produce
+// byte-identical exports (tests/check_test.cpp pins this).
+//
+// Layer position: obs is "universal" in tools/analyze/layers.json (like
+// check/) — includable from net and kernel without new DAG edges. The
+// publish path is header-only so those layers need no link dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace quicsteps::obs {
+
+#ifdef QUICSTEPS_TRACE_ENABLED
+inline constexpr bool kTraceEnabled = true;
+#else
+inline constexpr bool kTraceEnabled = false;
+#endif
+
+/// Where on the path a span was recorded. Stage order is the nominal path
+/// order of a data packet; a reconstructed timeline need not visit every
+/// stage (the ideal server has no socket, ACKs skip the sender qdisc).
+enum class TraceStage : std::uint8_t {
+  kPacerRelease = 0,  // user space: the pacer let the packet go
+  kSocketWrite,       // sendmsg/sendmmsg/GSO buffer entered the kernel
+  kQdiscEnqueue,      // accepted by a queueing discipline
+  kQdiscDequeue,      // released downstream by a queueing discipline
+  kQdiscDrop,         // dropped by a queueing discipline
+  kGsoSegment,        // split out of a GSO super-packet at the NIC
+  kNicTx,             // NIC began serializing the packet at line rate
+  kWire,              // passed the optical tap (departure timestamp)
+  kDelivery,          // handed to the receiving stack after its wakeup
+};
+
+inline constexpr std::size_t kTraceStageCount = 9;
+
+/// Stable identifier used in exports ("kernel:qdisc_enqueue", ...). The
+/// kernel-path stages extend qlog's event vocabulary under a `kernel:`
+/// namespace; user-space and wire stages use `transport:` / `wire:`.
+const char* to_string(TraceStage stage);
+
+/// One observation of one packet at one stage. 48-byte value type; spans
+/// carry ids, never pointers into component state, so a TraceData outlives
+/// the network that produced it.
+struct SpanEvent {
+  sim::Time at;        // simulated instant of the observation
+  sim::Time intended;  // the pacer's intent (expected_send_time; 0 = none)
+  std::uint64_t packet_id = 0;
+  std::uint64_t packet_number = 0;
+  std::int64_t size_bytes = 0;
+  std::uint32_t flow = 0;
+  TraceStage stage = TraceStage::kPacerRelease;
+  std::uint16_t component = 0;  // index into TraceData::components
+};
+
+/// A completed trace: the component name table plus every span, in
+/// publication (= event-loop execution) order.
+struct TraceData {
+  std::vector<std::string> components;
+  std::vector<SpanEvent> events;
+};
+
+/// The per-run span sink. One bus per run_flows invocation; components
+/// publish through a raw pointer that is null when tracing is off, so the
+/// bus itself needs no enabled flag. Not thread-safe — a run owns its loop,
+/// its network, and its bus (parallelism is across runs, never within one).
+class TraceBus {
+ public:
+  /// Registers a component under `name` and returns its span id. Called
+  /// during wiring, in deterministic construction order.
+  std::uint16_t register_component(std::string name) {
+    data_.components.push_back(std::move(name));
+    return static_cast<std::uint16_t>(data_.components.size() - 1);
+  }
+
+  void publish(const SpanEvent& ev) { data_.events.push_back(ev); }
+
+  const std::vector<std::string>& component_names() const {
+    return data_.components;
+  }
+  const std::vector<SpanEvent>& events() const { return data_.events; }
+
+  /// Moves the finished trace out (the bus is empty afterwards).
+  TraceData take() { return std::exchange(data_, TraceData{}); }
+
+ private:
+  TraceData data_;
+};
+
+inline SpanEvent make_span(TraceStage stage, std::uint16_t component,
+                           sim::Time at, const net::Packet& pkt) {
+  SpanEvent ev;
+  ev.at = at;
+  ev.intended = pkt.expected_send_time;
+  ev.packet_id = pkt.id;
+  ev.packet_number = pkt.packet_number;
+  ev.size_bytes = pkt.size_bytes;
+  ev.flow = pkt.flow;
+  ev.stage = stage;
+  ev.component = component;
+  return ev;
+}
+
+/// Publishes one span per wire packet: a GSO super-packet is expanded into
+/// its segments so every delivered packet's chain stays complete even
+/// through stages that handle the buffer as one unit (socket, qdiscs).
+inline void publish_packet_span(TraceBus* bus, TraceStage stage,
+                                std::uint16_t component, sim::Time at,
+                                const net::Packet& pkt) {
+  if (pkt.is_gso_buffer()) {
+    for (const net::Packet& seg : *pkt.gso_segments) {
+      bus->publish(make_span(stage, component, at, seg));
+    }
+    return;
+  }
+  bus->publish(make_span(stage, component, at, pkt));
+}
+
+/// Mixin giving a component its trace hookup. The default state (null bus)
+/// is the runtime "tracing off" check; set_trace() is called once during
+/// wiring with the id register_component() handed out for this component.
+class TraceSource {
+ public:
+  void set_trace(TraceBus* bus, std::uint16_t component) {
+    trace_bus_ = bus;
+    trace_component_ = component;
+  }
+
+ protected:
+  TraceBus* trace_bus_ = nullptr;
+  std::uint16_t trace_component_ = 0;
+};
+
+#ifdef QUICSTEPS_TRACE_ENABLED
+/// Publishes a span for `pkt` at stage `stage`. Compiled to nothing when
+/// the build disables QUICSTEPS_TRACE; otherwise costs one null check while
+/// no run has installed a bus.
+#define QUICSTEPS_TRACE_SPAN(bus, stage, component, at, pkt)              \
+  do {                                                                    \
+    if ((bus) != nullptr) {                                               \
+      ::quicsteps::obs::publish_packet_span((bus), (stage), (component),  \
+                                            (at), (pkt));                 \
+    }                                                                     \
+  } while (false)
+#else
+#define QUICSTEPS_TRACE_SPAN(bus, stage, component, at, pkt) \
+  do {                                                       \
+  } while (false)
+#endif
+
+}  // namespace quicsteps::obs

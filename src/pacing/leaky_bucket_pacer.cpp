@@ -28,12 +28,14 @@ sim::Time LeakyBucketPacer::earliest_send_time(sim::Time now,
   refill(now, rate);
   const double need = static_cast<double>(bytes) - tokens_;
   if (need <= 0) return now;
+  ++stats_.deferrals;
   const double seconds = need / rate.bytes_per_second_f();
   return now + sim::Duration::seconds_f(seconds);
 }
 
 void LeakyBucketPacer::on_packet_sent(sim::Time at, std::int64_t bytes,
                                       net::DataRate rate) {
+  ++stats_.packets_released;
   if (rate.is_zero() || rate.is_infinite()) return;
   refill(at, rate);
   tokens_ -= static_cast<double>(bytes);

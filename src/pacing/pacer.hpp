@@ -25,6 +25,14 @@ namespace quicsteps::pacing {
 
 class Pacer {
  public:
+  /// Release bookkeeping every implementation maintains: how many packets
+  /// the pacer was told went out, and how often it asked the caller to
+  /// wait (earliest_send_time strictly after `now`).
+  struct Stats {
+    std::int64_t packets_released = 0;
+    std::int64_t deferrals = 0;
+  };
+
   virtual ~Pacer() = default;
 
   /// Earliest instant a packet of `bytes` may be released given the current
@@ -39,6 +47,13 @@ class Pacer {
 
   virtual void reset() = 0;
   virtual const char* name() const = 0;
+
+  /// Cumulative over the connection's lifetime (reset() does not clear —
+  /// it restarts the release schedule, not the ledger).
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  Stats stats_;
 };
 
 enum class PacerKind : std::uint8_t { kNone, kInterval, kLeakyBucket };
@@ -65,7 +80,9 @@ class NullPacer final : public Pacer {
                                net::DataRate) override {
     return now;
   }
-  void on_packet_sent(sim::Time, std::int64_t, net::DataRate) override {}
+  void on_packet_sent(sim::Time, std::int64_t, net::DataRate) override {
+    ++stats_.packets_released;
+  }
   void reset() override {}
   const char* name() const override { return "none"; }
 };

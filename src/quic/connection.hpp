@@ -139,6 +139,7 @@ class Connection {
   std::int64_t cwnd_bytes() const { return cc_->cwnd_bytes(); }
   const Config& config() const { return config_; }
   pacing::Pacer& pacer() { return *pacer_; }
+  const pacing::Pacer& pacer() const { return *pacer_; }
 
   /// Trace hook invoked after every CC-relevant event with (time, cwnd,
   /// bytes_in_flight) — feeds the Fig. 7 congestion-window plots.

@@ -5,11 +5,16 @@ namespace quicsteps::quic {
 void QlogWriter::write_header(const std::string& title) {
   out_ << "{\"qlog_format\":\"JSON-SEQ\",\"qlog_version\":\"0.4\","
           "\"title\":\""
-       << title << "\",\"generator\":\"quicsteps\"}\n";
+       << title
+       << "\",\"generator\":\"quicsteps\","
+          "\"trace\":{\"time_unit\":\"us\"}}\n";
 }
 
 void QlogWriter::prefix(sim::Time now, const char* name) {
-  out_ << "{\"time\":" << now.to_millis() << ",\"name\":\"" << name
+  // Microseconds with fixed sub-µs digits: pacing errors live well below a
+  // millisecond, and ostream's default 6-significant-digit double formatting
+  // would destroy them.
+  out_ << "{\"time\":" << now.to_micros_string() << ",\"name\":\"" << name
        << "\",\"data\":";
 }
 
@@ -24,10 +29,10 @@ void QlogWriter::on_packet_sent(sim::Time now, const net::Packet& pkt) {
          << (pkt.fin ? ",\"fin\":true" : "") << "}]";
   }
   if (pkt.has_txtime) {
-    out_ << ",\"txtime_ms\":" << pkt.txtime.to_millis();
+    out_ << ",\"txtime_us\":" << pkt.txtime.to_micros_string();
   }
-  out_ << ",\"intended_send_ms\":" << pkt.expected_send_time.to_millis()
-       << "}}\n";
+  out_ << ",\"intended_send_us\":"
+       << pkt.expected_send_time.to_micros_string() << "}}\n";
   ++events_;
 }
 
@@ -55,7 +60,7 @@ void QlogWriter::on_metrics(sim::Time now, std::int64_t cwnd,
   prefix(now, "recovery:metrics_updated");
   out_ << "{\"congestion_window\":" << cwnd
        << ",\"bytes_in_flight\":" << bytes_in_flight
-       << ",\"smoothed_rtt\":" << smoothed_rtt.to_millis();
+       << ",\"smoothed_rtt\":" << smoothed_rtt.to_micros_string();
   if (!pacing_rate.is_infinite() && !pacing_rate.is_zero()) {
     out_ << ",\"pacing_rate\":" << pacing_rate.bps();
   }

@@ -22,11 +22,14 @@ void ReferenceServer::attempt_send() {
         send_timer_ =
             timers_ != nullptr
                 ? timers_->arm(intended, [this] { attempt_send(); })
-                : loop_.schedule_at(intended, [this] { attempt_send(); });
+                : loop_.schedule_at(intended, sim::EventClass::kTransport,
+                                    [this] { attempt_send(); });
       }
       return;
     }
     net::Packet pkt = connection_.build_packet(now, intended);
+    QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kPacerRelease,
+                         trace_component_, now, pkt);
     rearm_loss_timer();
     if (egress_ != nullptr) egress_->deliver(std::move(pkt));
   }
@@ -38,7 +41,7 @@ void ReferenceServer::rearm_loss_timer() {
   loss_timer_.cancel();
   const sim::Time deadline = connection_.next_timer_deadline();
   if (deadline.is_infinite()) return;
-  loss_timer_ = loop_.schedule_at(deadline, [this] {
+  loss_timer_ = loop_.schedule_at(deadline, sim::EventClass::kTimer, [this] {
     connection_.on_timer(loop_.now());
     rearm_loss_timer();
     attempt_send();

@@ -11,12 +11,13 @@
 
 #include "kernel/timer_service.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "quic/connection.hpp"
 #include "sim/event_loop.hpp"
 
 namespace quicsteps::quic {
 
-class ReferenceServer : public net::PacketSink {
+class ReferenceServer : public net::PacketSink, public obs::TraceSource {
  public:
   ReferenceServer(sim::EventLoop& loop, Connection::Config config,
                   net::PacketSink* egress)

@@ -8,6 +8,28 @@
 
 namespace quicsteps::sim {
 
+const char* to_string(EventClass cls) {
+  switch (cls) {
+    case EventClass::kGeneral:
+      return "general";
+    case EventClass::kTimer:
+      return "timer";
+    case EventClass::kTransmit:
+      return "transmit";
+    case EventClass::kQueue:
+      return "queue";
+    case EventClass::kDelay:
+      return "delay";
+    case EventClass::kWakeup:
+      return "wakeup";
+    case EventClass::kTransport:
+      return "transport";
+    case EventClass::kApp:
+      return "app";
+  }
+  return "general";
+}
+
 void EventHandle::cancel() {
   if (loop_ != nullptr) loop_->cancel_slot(slot_, gen_);
 }
@@ -18,7 +40,8 @@ bool EventHandle::pending() const {
 
 EventLoop::EventLoop() : wheel_(kBuckets) {}
 
-EventHandle EventLoop::schedule_at(Time at, std::function<void()> fn) {
+EventHandle EventLoop::schedule_at(Time at, EventClass cls,
+                                   std::function<void()> fn) {
   if (at < now_) at = now_;
 
   std::uint32_t slot;
@@ -33,20 +56,27 @@ EventHandle EventLoop::schedule_at(Time at, std::function<void()> fn) {
   s.fn = std::move(fn);
   s.live = true;
 
-  const Rec rec{at.ns(), next_seq_++, slot};
+  const Rec rec{at.ns(), next_seq_++, slot,
+                static_cast<std::uint16_t>(cls)};
   ++live_count_;
+  if constexpr (kLoopProfilingEnabled) {
+    ++stats_.scheduled[static_cast<std::size_t>(cls)];
+    if (live_count_ > stats_.max_pending) stats_.max_pending = live_count_;
+  }
   if (bucket_index(rec.at_ns) < base_idx_ + kBuckets) {
     wheel_insert(rec);
   } else {
+    if constexpr (kLoopProfilingEnabled) ++stats_.overflow_scheduled;
     overflow_.push_back(rec);
     std::push_heap(overflow_.begin(), overflow_.end(), rec_after);
   }
   return EventHandle(this, slot, s.gen);
 }
 
-EventHandle EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
+EventHandle EventLoop::schedule_after(Duration delay, EventClass cls,
+                                      std::function<void()> fn) {
   if (delay < Duration::zero()) delay = Duration::zero();
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, cls, std::move(fn));
 }
 
 void EventLoop::deactivate_slot(std::uint32_t slot) {
@@ -61,6 +91,7 @@ void EventLoop::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
   if (!slot_live(slot, gen)) return;
   slots_[slot].fn = nullptr;  // release captured state eagerly
   deactivate_slot(slot);
+  if constexpr (kLoopProfilingEnabled) ++stats_.cancelled;
   // The queue record became a tombstone; wheel tombstones are pruned when
   // the cursor reaches them, the overflow top is kept live eagerly.
   clean_overflow_top();
@@ -212,6 +243,9 @@ bool EventLoop::run_one() {
   std::function<void()> fn = std::move(slots_[rec.slot].fn);
   deactivate_slot(rec.slot);
   release_slot(rec.slot);
+  if constexpr (kLoopProfilingEnabled) {
+    ++stats_.executed[rec.cls % kEventClassCount];
+  }
   advance_now(Time::from_ns(rec.at_ns));
   fn();
   return true;

@@ -26,6 +26,46 @@ namespace quicsteps::sim {
 
 class EventLoop;
 
+/// Coarse classification of scheduled callbacks, for the loop profile the
+/// observability layer reports (executed-event counts per class). The tag
+/// rides in the queue record's padding bytes, so carrying it is free; the
+/// per-class counters themselves are only maintained when the build defines
+/// QUICSTEPS_TRACE_ENABLED (CMake option QUICSTEPS_TRACE, default ON).
+enum class EventClass : std::uint8_t {
+  kGeneral = 0,  // untagged schedule calls
+  kTimer,        // timer-service / loss-timer wakeups
+  kTransmit,     // NIC serialization completions
+  kQueue,        // qdisc watchdogs and timed releases
+  kDelay,        // netem propagation-delay deliveries
+  kWakeup,       // receive-side epoll/GRO wakeups
+  kTransport,    // stack event-loop iterations (yield, ACK batches)
+  kApp,          // application source arrivals
+};
+
+inline constexpr std::size_t kEventClassCount = 8;
+
+/// Stable lower-case name for reports ("general", "timer", ...).
+const char* to_string(EventClass cls);
+
+#ifdef QUICSTEPS_TRACE_ENABLED
+inline constexpr bool kLoopProfilingEnabled = true;
+#else
+inline constexpr bool kLoopProfilingEnabled = false;
+#endif
+
+/// Deterministic loop profile: pure functions of the executed event
+/// sequence (no wall clocks), so serial and parallel runs of one seed
+/// produce identical profiles. All zeros when profiling is compiled out.
+struct LoopStats {
+  std::array<std::uint64_t, kEventClassCount> scheduled{};
+  std::array<std::uint64_t, kEventClassCount> executed{};
+  std::uint64_t cancelled = 0;
+  /// Records that missed the wheel horizon and took the overflow heap.
+  std::uint64_t overflow_scheduled = 0;
+  /// High-water mark of live pending events.
+  std::uint64_t max_pending = 0;
+};
+
 /// Handle to a scheduled event. Default-constructed handles are inert.
 /// A handle is a (slot, generation) ticket into the owning loop's slab:
 /// once the event runs or is cancelled, the slot's generation moves on and
@@ -61,10 +101,20 @@ class EventLoop {
 
   /// Schedules `fn` to run at absolute time `at`. Times in the past are
   /// clamped to `now()` (the event still runs, immediately-next).
-  EventHandle schedule_at(Time at, std::function<void()> fn);
+  EventHandle schedule_at(Time at, std::function<void()> fn) {
+    return schedule_at(at, EventClass::kGeneral, std::move(fn));
+  }
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to now.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+  EventHandle schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_after(delay, EventClass::kGeneral, std::move(fn));
+  }
+
+  /// Tagged variants: identical semantics, plus the event-class label the
+  /// loop profile aggregates by.
+  EventHandle schedule_at(Time at, EventClass cls, std::function<void()> fn);
+  EventHandle schedule_after(Duration delay, EventClass cls,
+                             std::function<void()> fn);
 
   /// Runs events until the queue is empty. Returns the number executed.
   std::size_t run();
@@ -82,6 +132,9 @@ class EventLoop {
 
   /// Time of the earliest pending event, or Time::infinite() when empty.
   Time next_event_time() const;
+
+  /// Deterministic loop profile (all zeros when QUICSTEPS_TRACE is off).
+  const LoopStats& stats() const { return stats_; }
 
  private:
   friend class EventHandle;
@@ -101,12 +154,15 @@ class EventLoop {
   };
 
   /// 24-byte POD queue record. A record whose slot is no longer live is a
-  /// tombstone and is dropped when it surfaces.
+  /// tombstone and is dropped when it surfaces. The event-class tag lives
+  /// in bytes that were padding before, so profiling does not grow it.
   struct Rec {
     std::int64_t at_ns;
     std::uint64_t seq;
     std::uint32_t slot;
+    std::uint16_t cls;
   };
+  static_assert(sizeof(Rec) == 24, "Rec must stay a 24-byte POD");
 
   static bool rec_before(const Rec& a, const Rec& b) {
     if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
@@ -166,6 +222,7 @@ class EventLoop {
   std::size_t live_count_ = 0;
   Time now_;
   std::uint64_t next_seq_ = 0;
+  LoopStats stats_;
 };
 
 }  // namespace quicsteps::sim

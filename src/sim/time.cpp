@@ -22,6 +22,21 @@ std::string format_ns(std::int64_t ns) {
   return buf;
 }
 
+/// Exact decimal microseconds: integer part is ns/1000, the three
+/// fractional digits are the remaining nanoseconds. No floating point —
+/// every nanosecond-resolution instant renders losslessly.
+std::string format_micros(std::int64_t ns) {
+  const bool negative = ns < 0;
+  const std::uint64_t magnitude =
+      negative ? std::uint64_t{0} - static_cast<std::uint64_t>(ns)
+               : static_cast<std::uint64_t>(ns);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%llu.%03llu", negative ? "-" : "",
+                static_cast<unsigned long long>(magnitude / 1000),
+                static_cast<unsigned long long>(magnitude % 1000));
+  return buf;
+}
+
 }  // namespace
 
 std::string Duration::to_string() const {
@@ -33,5 +48,9 @@ std::string Time::to_string() const {
   if (is_infinite()) return "inf";
   return format_ns(ns_);
 }
+
+std::string Duration::to_micros_string() const { return format_micros(ns_); }
+
+std::string Time::to_micros_string() const { return format_micros(ns_); }
 
 }  // namespace quicsteps::sim

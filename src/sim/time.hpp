@@ -91,6 +91,11 @@ class Duration {
   /// "12.3ms"-style rendering for logs and reports.
   std::string to_string() const;
 
+  /// Exact microsecond rendering ("1234.567", always three fractional
+  /// digits) for qlog/trace output, where ostream's 6-significant-digit
+  /// double default would destroy the sub-millisecond pacing signal.
+  std::string to_micros_string() const;
+
  private:
   constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
   std::int64_t ns_ = 0;
@@ -129,6 +134,9 @@ class Time {
   constexpr auto operator<=>(const Time&) const = default;
 
   std::string to_string() const;
+
+  /// Exact microsecond rendering ("1234.567"); see Duration.
+  std::string to_micros_string() const;
 
  private:
   constexpr explicit Time(std::int64_t ns) : ns_(ns) {}

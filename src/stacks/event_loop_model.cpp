@@ -45,7 +45,7 @@ void StackServer::on_datagram(const net::Packet& pkt) {
       if (!batch_timer_.pending()) {
         batch_timer_ = loop_.schedule_after(
             profile_.loop_busy_duration - sim::Duration::nanos(phase),
-            [this] { process_ack_batch(); });
+            sim::EventClass::kTransport, [this] { process_ack_batch(); });
       }
       return;
     }
@@ -58,8 +58,8 @@ void StackServer::on_datagram(const net::Packet& pkt) {
     if (!batch_timer_.pending()) {
       const sim::Duration window = os_.rng().exponential_duration(
           profile_.recv_batch_window, profile_.recv_batch_window * 8.0);
-      batch_timer_ =
-          loop_.schedule_after(window, [this] { process_ack_batch(); });
+      batch_timer_ = loop_.schedule_after(window, sim::EventClass::kTransport,
+                                          [this] { process_ack_batch(); });
     }
     return;
   }
@@ -109,7 +109,8 @@ void StackServer::send_with_txtime() {
           sim::Duration::micros(450) +
           os_.rng().exponential_duration(sim::Duration::micros(200),
                                          sim::Duration::millis(2));
-      yield_timer_ = loop_.schedule_after(pause, [this] { attempt_send(); });
+      yield_timer_ = loop_.schedule_after(pause, sim::EventClass::kTransport,
+                                          [this] { attempt_send(); });
       break;
     }
     ++written;
@@ -119,6 +120,8 @@ void StackServer::send_with_txtime() {
     pkt.txtime = release + profile_.txtime_headroom;
     pkt.expected_send_time = pkt.txtime;
     stats_.cpu_time += os_.config().packet_build_cost;
+    QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kPacerRelease,
+                         trace_component_, now, pkt);
 
     if (profile_.gso == kernel::GsoMode::kOff) {
       if (profile_.use_sendmmsg) {
@@ -190,6 +193,8 @@ void StackServer::send_waiting() {
       const sim::Time r = connection_.pacer_release_time(now);
       net::Packet pkt = connection_.build_packet(now, sim::max(now, r));
       stats_.cpu_time += os_.config().packet_build_cost;
+      QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kPacerRelease,
+                           trace_component_, now, pkt);
       charge_syscall();
       socket_.sendmsg(std::move(pkt));
     }
@@ -202,7 +207,7 @@ void StackServer::rearm_loss_timer() {
   loss_timer_.cancel();
   const sim::Time deadline = connection_.next_timer_deadline();
   if (deadline.is_infinite()) return;
-  loss_timer_ = loop_.schedule_at(deadline, [this] {
+  loss_timer_ = loop_.schedule_at(deadline, sim::EventClass::kTimer, [this] {
     connection_.on_timer(loop_.now());
     rearm_loss_timer();
     attempt_send();

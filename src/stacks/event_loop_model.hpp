@@ -14,12 +14,13 @@
 
 #include "kernel/timer_service.hpp"
 #include "kernel/udp_socket.hpp"
+#include "obs/trace.hpp"
 #include "quic/connection.hpp"
 #include "stacks/stack_profile.hpp"
 
 namespace quicsteps::stacks {
 
-class StackServer : public net::PacketSink {
+class StackServer : public net::PacketSink, public obs::TraceSource {
  public:
   struct Stats {
     /// CPU time the sender thread spent building packets and in syscalls
@@ -50,6 +51,14 @@ class StackServer : public net::PacketSink {
   const StackProfile& profile() const { return profile_; }
   const Stats& stats() const { return stats_; }
   const kernel::UdpSocket& socket() const { return socket_; }
+
+  /// Installs tracing on the stack (pacer-release spans) and its socket
+  /// (kernel-entry spans) in one call so both components wire together.
+  void set_trace(obs::TraceBus* bus, std::uint16_t self,
+                 std::uint16_t socket_component) {
+    obs::TraceSource::set_trace(bus, self);
+    socket_.set_trace(bus, socket_component);
+  }
 
  private:
   void process_ack_batch();

@@ -150,10 +150,12 @@ TEST(AnalyzeLexer, BackslashNewlineSplicesKeepDirectiveState) {
 // Rule registry
 // ---------------------------------------------------------------------------
 
-TEST(AnalyzeRules, RegistryListsAllThirteenRules) {
+TEST(AnalyzeRules, RegistryListsAllFourteenRules) {
   const auto& rules = quicsteps::analyze::all_rules();
-  EXPECT_EQ(rules.size(), 13u);
+  EXPECT_EQ(rules.size(), 14u);
   EXPECT_TRUE(quicsteps::analyze::known_rule("determinism/wall-clock"));
+  EXPECT_TRUE(
+      quicsteps::analyze::known_rule("determinism/exporter-unordered"));
   EXPECT_TRUE(quicsteps::analyze::known_rule("layering/cycle"));
   EXPECT_FALSE(quicsteps::analyze::known_rule("determinism/flux-capacitor"));
   EXPECT_EQ(quicsteps::analyze::rule_family("units/raw-rate-type"), "units");
@@ -175,7 +177,7 @@ AnalysisResult run_violations() {
 TEST(AnalyzeViolationsFixture, FindsEachSeededViolationOnItsPinnedLine) {
   AnalysisResult result = run_violations();
   ASSERT_TRUE(result.error.empty()) << result.error;
-  EXPECT_EQ(result.files_scanned, 7u);
+  EXPECT_EQ(result.files_scanned, 8u);
   const std::vector<std::string> expected = {
       "determinism_misc.cpp:7 determinism/random-device",
       "determinism_misc.cpp:12 determinism/unordered-container",
@@ -187,6 +189,7 @@ TEST(AnalyzeViolationsFixture, FindsEachSeededViolationOnItsPinnedLine) {
       "determinism_wall.cpp:7 determinism/wall-clock",
       "determinism_wall.cpp:9 determinism/wall-clock",
       "determinism_wall.cpp:18 determinism/wall-clock",
+      "exporter_unordered.cpp:7 determinism/exporter-unordered",
       "missing_guard.hpp:1 determinism/include-guard",
       "scheduling_capture.cpp:9 scheduling/ref-capture",
       "scheduling_capture.cpp:10 scheduling/ref-capture",
@@ -271,13 +274,14 @@ TEST(AnalyzeLayering, RealManifestLoadsAndDeclaresTheStack) {
   ASSERT_TRUE(quicsteps::analyze::load_layer_manifest(
       read_file_or_die(kLayersJson), &manifest, &error))
       << error;
-  for (const char* layer : {"core", "check", "sim", "net", "kernel", "cc",
-                            "pacing", "metrics", "quic", "stacks", "tcp",
-                            "framework"}) {
+  for (const char* layer : {"core", "check", "obs", "sim", "net", "kernel",
+                            "cc", "pacing", "metrics", "quic", "stacks",
+                            "tcp", "framework"}) {
     EXPECT_TRUE(manifest.declared(layer)) << layer;
   }
   EXPECT_TRUE(manifest.is_universal("core"));
   EXPECT_TRUE(manifest.is_universal("check"));
+  EXPECT_TRUE(manifest.is_universal("obs"));
   EXPECT_FALSE(manifest.is_universal("sim"));
 }
 

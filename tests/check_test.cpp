@@ -1,6 +1,8 @@
 // Correctness-tooling tests: audit-failure injection (a non-conserving
 // qdisc, a backwards timestamp stream), the determinism hasher, sorted
 // counter emission, and the serial == parallel wire-hash gate.
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "core/quicsteps.hpp"
@@ -264,6 +266,37 @@ TEST(DeterminismHash, SerialEqualsParallelAcrossStacksAndSeeds) {
   // Different seeds actually produce different timestamp streams — the
   // hash would be useless if it collapsed them.
   EXPECT_NE(parallel[0][0].wire_hash, parallel[1][0].wire_hash);
+}
+
+TEST(DeterminismHash, TracedRunsExportByteIdenticalSerialVsParallel) {
+  if (!obs::kTraceEnabled) {
+    GTEST_SKIP() << "built with -DQUICSTEPS_TRACE=OFF";
+  }
+  // Path tracing must not perturb the schedule (wire_hash unchanged by
+  // --trace) and the exported artifacts themselves must be reproducible
+  // bytes: the parallel worker pool and a serial run of the same
+  // (config, seed) write identical path-qlog JSONL and CSV.
+  for (std::uint64_t seed : {1ull, 7ull}) {
+    auto config = hash_config(StackKind::kQuicheSf, seed);
+    const auto untraced = Runner::run_once(config, seed);
+    config.trace = true;
+    const auto serial = Runner::run_once(config, seed);
+    const auto parallel = ParallelRunner(4).run_all(config);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ASSERT_EQ(parallel.size(), 1u);
+    EXPECT_EQ(serial.wire_hash, untraced.wire_hash);
+    EXPECT_EQ(serial.wire_hash, parallel[0].wire_hash);
+    ASSERT_NE(serial.trace, nullptr);
+    ASSERT_NE(parallel[0].trace, nullptr);
+    std::ostringstream serial_qlog, parallel_qlog, serial_csv, parallel_csv;
+    framework::write_path_qlog(serial_qlog, serial, config.label);
+    framework::write_path_qlog(parallel_qlog, parallel[0], config.label);
+    framework::write_path_trace_csv(serial_csv, serial);
+    framework::write_path_trace_csv(parallel_csv, parallel[0]);
+    EXPECT_GT(serial_qlog.str().size(), 1000u);
+    EXPECT_EQ(serial_qlog.str(), parallel_qlog.str());
+    EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+  }
 }
 
 TEST(DeterminismHash, RepeatedRunsPinTheSameDigest) {

@@ -45,13 +45,45 @@ TEST(Qlog, HeaderAndEventShapes) {
   EXPECT_NE(log.find("\"qlog_version\":\"0.4\""), std::string::npos);
   EXPECT_NE(log.find("transport:packet_sent"), std::string::npos);
   EXPECT_NE(log.find("\"packet_number\":7"), std::string::npos);
-  EXPECT_NE(log.find("\"txtime_ms\":3"), std::string::npos);
+  EXPECT_NE(log.find("\"txtime_us\":3000.000"), std::string::npos);
   EXPECT_NE(log.find("recovery:packet_lost"), std::string::npos);
   EXPECT_NE(log.find("\"congestion_window\":30000"), std::string::npos);
   EXPECT_NE(log.find("\"pacing_rate\":40000000"), std::string::npos);
   EXPECT_EQ(qlog.events_written(), 4);
   // JSON-SEQ: one record per line.
   EXPECT_EQ(std::count(log.begin(), log.end(), '\n'), 5);
+}
+
+// Regression: qlog used to render times via to_millis(), erasing the
+// sub-millisecond pacing signal the study is about. Every timestamp must
+// carry exact microsecond (and sub-µs) digits.
+TEST(Qlog, TimestampsAreMicrosecondExact) {
+  std::ostringstream out;
+  quic::QlogWriter qlog(out);
+  qlog.write_header("unit");
+
+  Packet pkt;
+  pkt.packet_number = 1;
+  pkt.size_bytes = 1200;
+  pkt.has_txtime = true;
+  pkt.txtime = Time::zero() + Duration::nanos(1234567);
+  pkt.expected_send_time = pkt.txtime;
+  qlog.on_packet_sent(Time::zero() + Duration::nanos(1230042), pkt);
+  qlog.on_metrics(Time::zero() + Duration::nanos(1230042), 30000, 15000,
+                  Duration::nanos(40001500),
+                  net::DataRate::megabits_per_second(40));
+
+  const std::string log = out.str();
+  // Header declares the unit; events carry exact µs with three sub-µs
+  // digits — no float rounding, no truncation to milliseconds.
+  EXPECT_NE(log.find("\"time_unit\":\"us\""), std::string::npos);
+  EXPECT_NE(log.find("\"time\":1230.042"), std::string::npos);
+  EXPECT_NE(log.find("\"txtime_us\":1234.567"), std::string::npos);
+  EXPECT_NE(log.find("\"intended_send_us\":1234.567"), std::string::npos);
+  EXPECT_NE(log.find("\"smoothed_rtt\":40001.500"), std::string::npos);
+  // The old millisecond fields must be gone.
+  EXPECT_EQ(log.find("txtime_ms"), std::string::npos);
+  EXPECT_EQ(log.find("intended_send_ms"), std::string::npos);
 }
 
 TEST(Qlog, ConnectionEmitsFullLifecycle) {

@@ -30,6 +30,10 @@ const std::vector<RuleInfo>& all_rules() {
        "std::unordered_* iteration order is allocator-dependent."},
       {"determinism/thread-sleep",
        "std::this_thread::sleep_* waits on the wall clock."},
+      {"determinism/exporter-unordered",
+       "Exporter code (obs/, artifacts, report, qlog) names an unordered_* "
+       "container without std:: qualification — aliases and using-imports "
+       "would leak hash order into published artifacts."},
       {"determinism/include-guard", "Header does not open with #pragma once."},
       {"scheduling/ref-capture",
        "Lambda passed to EventLoop::schedule_at/schedule_after captures by "

@@ -1,0 +1,9 @@
+// Fixture: an exporter-path file (name contains "exporter") naming an
+// unordered container without std:: qualification — the aliased import
+// the qualified-only rule cannot see.
+using namespace std;
+
+void write_rows() {
+  unordered_map<int, int> rows;  // line 7: determinism/exporter-unordered
+  rows[1] = 2;
+}

@@ -16,6 +16,10 @@
 //   --csv PREFIX      (PREFIX_summary.csv, PREFIX_gaps.<rep>.csv,
 //                      PREFIX_capture.<rep>.csv, PREFIX_cwnd.<rep>.csv)
 //   --qlog PATH       (qlog JSON-SEQ per repetition: PATH.<seed>)
+//   --trace           record per-packet path spans (pacer->wire->delivery)
+//                     and print the run's metrics registry
+//   --qlog-dir DIR    with --trace: write DIR/path.<rep>.qlog (path-qlog
+//                     JSONL) and DIR/path.<rep>.csv per repetition
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -75,6 +79,7 @@ int main(int argc, char** argv) {
   framework::ExperimentConfig config;
   config.label = "cli";
   std::string csv_prefix;
+  std::string qlog_dir;
   int jobs = 0;  // 0 = QUICSTEPS_JOBS env, then hardware concurrency.
 
   auto next_value = [&](int& i) -> std::string {
@@ -127,6 +132,10 @@ int main(int argc, char** argv) {
       config.record_cwnd_trace = true;
     } else if (flag == "--qlog") {
       config.qlog_path = next_value(i);
+    } else if (flag == "--trace") {
+      config.trace = true;
+    } else if (flag == "--qlog-dir") {
+      qlog_dir = next_value(i);
     } else if (flag == "--help" || flag == "-h") {
       std::printf("see the header comment of tools/quicsteps_cli.cpp\n");
       return 0;
@@ -142,6 +151,8 @@ int main(int argc, char** argv) {
               config.use_sendmmsg ? "+sendmmsg" : "",
               static_cast<long long>(config.payload_bytes / (1024 * 1024)),
               config.repetitions);
+
+  if (!qlog_dir.empty()) config.trace = true;  // --qlog-dir implies --trace
 
   std::ofstream summary;
   if (!csv_prefix.empty()) {
@@ -164,6 +175,45 @@ int main(int argc, char** argv) {
         static_cast<long long>(run.packets_declared_lost),
         100.0 * run.trains.fraction_in_trains_up_to(5),
         run.precision.precision_ms);
+    if (run.trace != nullptr) {
+      const auto timelines = obs::build_timelines(*run.trace);
+      const auto errors = obs::stage_errors(timelines);
+      std::printf("    trace: %zu spans over %zu packets, %lld complete "
+                  "pacer->delivery chains\n",
+                  run.trace->events.size(), timelines.size(),
+                  static_cast<long long>(obs::count_complete(timelines)));
+      for (const auto& se : errors) {
+        std::printf("    %-24s mean_error=%9.1f us  n=%lld\n",
+                    obs::to_string(se.stage), se.mean_us(),
+                    static_cast<long long>(se.error_us.count()));
+      }
+      obs::MetricsRegistry registry;
+      registry.add_counter("pacer/releases", run.pacer_releases);
+      registry.add_counter("pacer/deferrals", run.pacer_deferrals);
+      registry.set_gauge("bottleneck/dropped_packets", run.dropped_packets);
+      registry.set_gauge("trace/complete_chains",
+                         obs::count_complete(timelines));
+      for (const auto& se : errors) {
+        registry.histogram(std::string("pacing_error/") +
+                           obs::to_string(se.stage)) = se.error_us;
+      }
+      std::printf("    metrics registry:\n");
+      const std::string metrics_text = registry.to_string();
+      std::size_t start = 0;
+      while (start < metrics_text.size()) {
+        const std::size_t end = metrics_text.find('\n', start);
+        std::printf("      %s\n",
+                    metrics_text.substr(start, end - start).c_str());
+        start = end + 1;
+      }
+      if (!qlog_dir.empty()) {
+        const std::string base = qlog_dir + "/path." + std::to_string(rep);
+        std::ofstream path_qlog(base + ".qlog");
+        framework::write_path_qlog(path_qlog, run, config.label);
+        std::ofstream path_csv(base + ".csv");
+        framework::write_path_trace_csv(path_csv, run);
+      }
+    }
     if (!csv_prefix.empty()) {
       framework::write_summary_csv(summary, config.label, run, rep == 0);
       const std::string tag = "." + std::to_string(rep) + ".csv";
