@@ -9,6 +9,7 @@
 #include "kernel/qdisc_fq.hpp"
 #include "kernel/qdisc_tbf.hpp"
 #include "metrics/capture_analysis.hpp"
+#include "net/packet_slab.hpp"
 #include "metrics/gap_analyzer.hpp"
 #include "metrics/precision.hpp"
 #include "metrics/train_analyzer.hpp"
@@ -35,6 +36,104 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventLoopScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_DrainScheduleRun(benchmark::State& state) {
+  // The drain-channel counterpart of BM_EventLoopScheduleRun: the same
+  // schedule pattern, but each event is a 32-bit payload on a registered
+  // channel instead of a std::function closure. The ratio between the two
+  // is the per-event saving the batched datapath banks on, and feeds the
+  // `throughput` section of BENCH_micro.json.
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    long sum = 0;
+    const sim::DrainId ch = loop.register_drain(
+        sim::EventClass::kTransmit,
+        [](void* ctx, std::uint32_t) { ++*static_cast<long*>(ctx); }, &sum);
+    for (int i = 0; i < state.range(0); ++i) {
+      loop.schedule_drain_at(
+          loop.now() + sim::Duration::micros(i % 997), ch,
+          static_cast<std::uint32_t>(i));
+    }
+    loop.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DrainScheduleRun)->Arg(1000)->Arg(10000);
+
+net::Packet hop_packet(std::uint64_t id) {
+  net::Packet pkt;
+  pkt.id = id;
+  pkt.flow = 1;
+  pkt.size_bytes = 1514;
+  pkt.packet_number = id;
+  pkt.stream_offset = static_cast<std::int64_t>(id) * 1472;
+  pkt.stream_length = 1472;
+  return pkt;
+}
+
+void BM_LoopHopPacketClosure(benchmark::State& state) {
+  // The pre-PR datapath idiom for one packet hop: a heap-allocated
+  // std::function closure capturing the Packet by move, scheduled at the
+  // packet's wire time. One wave = one pacer burst worth of 1514-byte
+  // packets at 10 Gbit/s spacing. Baseline for BM_LoopHopPacketBatched;
+  // the pair's items_per_second ratio is the "batched loop vs pre-PR
+  // event loop" number in BENCH_micro.json's `throughput` section.
+  const int packets = static_cast<int>(state.range(0));
+  constexpr std::int64_t kSpacingNs = 1211;  // 1514 bytes at 10 Gbit/s
+  sim::EventLoop loop;
+  long long bytes = 0;
+  for (auto _ : state) {
+    const std::int64_t base = loop.now().ns();
+    for (int i = 0; i < packets; ++i) {
+      net::Packet pkt = hop_packet(static_cast<std::uint64_t>(i));
+      loop.schedule_at(sim::Time::from_ns(base + i * kSpacingNs),
+                       sim::EventClass::kTransmit,
+                       [&bytes, pkt = std::move(pkt)]() mutable {
+                         bytes += pkt.size_bytes;
+                       });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * packets);
+}
+BENCHMARK(BM_LoopHopPacketClosure)->Arg(10000);
+
+struct HopConsumer {
+  long long bytes = 0;
+  net::PacketSlab* slab = nullptr;
+  static void drain(void* self, std::uint32_t ref) {
+    auto* c = static_cast<HopConsumer*>(self);
+    c->bytes += c->slab->take(ref).size_bytes;
+  }
+};
+
+void BM_LoopHopPacketBatched(benchmark::State& state) {
+  // The batched datapath for the same hop: the Packet parks in the slab,
+  // a slotless 24-byte drain record rides the wheel, and the wave drains
+  // as a train without leaving run()'s cursor. Same work as the closure
+  // arm — compare items_per_second.
+  const int packets = static_cast<int>(state.range(0));
+  constexpr std::int64_t kSpacingNs = 1211;
+  sim::EventLoop loop;
+  net::PacketSlab slab;
+  HopConsumer consumer;
+  consumer.slab = &slab;
+  const sim::DrainId ch = loop.register_drain(sim::EventClass::kTransmit,
+                                              &HopConsumer::drain, &consumer);
+  for (auto _ : state) {
+    const std::int64_t base = loop.now().ns();
+    for (int i = 0; i < packets; ++i) {
+      loop.post_drain_at(sim::Time::from_ns(base + i * kSpacingNs), ch,
+                         slab.put(hop_packet(static_cast<std::uint64_t>(i))));
+    }
+    loop.run();
+    benchmark::DoNotOptimize(consumer.bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * packets);
+}
+BENCHMARK(BM_LoopHopPacketBatched)->Arg(10000);
 
 void BM_EventLoopCancel(benchmark::State& state) {
   for (auto _ : state) {
@@ -94,6 +193,27 @@ void BM_TbfShaping(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_TbfShaping)->Arg(1000);
+
+void BM_PacketSlabPutTake(benchmark::State& state) {
+  // Steady-state slab traffic: a window of packets in flight, recycled
+  // through the free list. After warm-up no iteration allocates.
+  net::PacketSlab slab;
+  constexpr int kWindow = 64;
+  std::vector<net::PacketSlab::Ref> window;
+  window.reserve(kWindow);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    window.push_back(slab.put(bench_packet(id++)));
+    if (window.size() == kWindow) {
+      for (const auto ref : window) {
+        benchmark::DoNotOptimize(slab.take(ref).size_bytes);
+      }
+      window.clear();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketSlabPutTake);
 
 void BM_IntervalPacerDecision(benchmark::State& state) {
   pacing::IntervalPacer pacer;
@@ -325,6 +445,44 @@ void BM_RunWithTrace(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RunWithTrace)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+framework::ExperimentConfig highbw_config(bool batched) {
+  // The 10 Gbit/s point of the bench_ext_highbw family: a short-RTT
+  // multi-Gbit path that stresses the per-packet event cost rather than
+  // the paper's 40 Mbit/s bottleneck. items_per_second is simulated
+  // packets per wall-clock second on one core — the number the
+  // `throughput` section of BENCH_micro.json gates on (batched >= 2x
+  // legacy at this point).
+  framework::ExperimentConfig config;
+  config.label = batched ? "highbw-batched" : "highbw-legacy";
+  config.stack = framework::StackKind::kQuicheSf;
+  config.payload_bytes = 8ll * 1024 * 1024;
+  config.repetitions = 1;
+  config.seed = 1;
+  config.topology.bottleneck_rate = net::DataRate::gigabits_per_second(10);
+  config.topology.server_nic_rate = net::DataRate::gigabits_per_second(40);
+  config.topology.path_delay_one_way = sim::Duration::millis(1);
+  config.topology.bottleneck_buffer_bytes =
+      net::DataRate::gigabits_per_second(10).bytes_in(sim::Duration::millis(2));
+  config.topology.tbf_burst_bytes = 16 * 1514;
+  config.topology.batched_datapath = batched;
+  return config;
+}
+
+void BM_HighBwRun(benchmark::State& state) {
+  // Arg 0 = legacy closure-per-packet datapath (pre-batching baseline),
+  // arg 1 = batched drain trains + packet slab. Identical wire_hash either
+  // way; only host-side cost differs.
+  const auto config = highbw_config(state.range(0) != 0);
+  std::int64_t packets = 0;
+  for (auto _ : state) {
+    auto run = framework::Runner::run_once(config, config.seed);
+    packets = run.packets_sent;
+    benchmark::DoNotOptimize(run.completed);
+  }
+  state.SetItemsProcessed(state.iterations() * packets);
+}
+BENCHMARK(BM_HighBwRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 std::vector<framework::ExperimentConfig> bench_grid() {
   std::vector<framework::ExperimentConfig> grid;

@@ -33,7 +33,8 @@ SenderHost::SenderHost(sim::EventLoop& loop, const FlowSpec& spec,
     : flow_id_(flow_id),
       spec_(spec),
       os_(std::move(os)),
-      path_(loop, spec_.config.topology, *os_, path.wire_ingress()) {
+      path_(loop, spec_.config.topology, *os_, path.wire_ingress(),
+            path.slab()) {
   endpoint_ =
       make_flow_endpoint(loop, *os_, spec_.config, flow_id_, seed,
                          path_.egress(), path.ack_ingress(), live_result);
@@ -168,7 +169,18 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
   for (const FlowSpec& spec : config.flows) {
     if (spec.config.trace) tracing = true;
   }
-  if (tracing && obs::kTraceEnabled) net.set_trace(trace_bus);
+  if (tracing && obs::kTraceEnabled) {
+    net.set_trace(trace_bus);
+    // Pre-size the span store: ~payload/MSS wire packets per flow, ~9
+    // stages each plus ACK-path spans. Overshooting slightly is fine —
+    // the goal is no reallocation while the run is hot.
+    std::size_t hint = 0;
+    for (const FlowSpec& spec : config.flows) {
+      hint += static_cast<std::size_t>(spec.config.payload_bytes / 1200 + 64) *
+              12;
+    }
+    trace_bus.reserve(hint);
+  }
 
   // All per-flow metrics derive from the shared tap; one incremental pass
   // demuxes each departure into its flow's analyzer, determinism hash,
@@ -186,6 +198,13 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
   }
   check::MonotonicityAuditor tap_monotone("wire-tap departure time");
   std::int64_t tap_packets = 0;
+  // The streaming demux below makes the tap's own retained capture dead
+  // weight — per-flow captures are filled on the fly when requested. The
+  // legacy datapath keeps retaining so that batched_datapath=false stays a
+  // faithful pre-batching baseline for A/B benchmarks.
+  if (config.flows[0].config.topology.batched_datapath) {
+    net.path().tap().set_retain_capture(false);
+  }
   net.path().tap().set_on_packet([&demux, &hashers, &captures, &tap_monotone,
                                   &tap_packets](const net::Packet& pkt) {
     ++tap_packets;
@@ -237,9 +256,16 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
     if (tracing && config.flows[i].config.trace) {
       const std::uint32_t id = net.host(i).flow_id();
       auto flow_trace = std::make_shared<obs::TraceData>();
-      flow_trace->components = all_spans.components;
-      for (const obs::SpanEvent& ev : all_spans.events) {
-        if (ev.flow == id) flow_trace->events.push_back(ev);
+      if (n == 1) {
+        // Single flow: every span on the bus is this flow's — move the
+        // whole trace instead of filter-copying it (the dominant cost of
+        // a traced 1-flow run before the batched-datapath work).
+        *flow_trace = std::move(all_spans);
+      } else {
+        flow_trace->components = all_spans.components;
+        for (const obs::SpanEvent& ev : all_spans.events) {
+          if (ev.flow == id) flow_trace->events.push_back(ev);
+        }
       }
       flow_result.trace = std::move(flow_trace);
     }
@@ -264,6 +290,10 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
   reg.add_counter("loop/cancelled", static_cast<std::int64_t>(ls.cancelled));
   reg.add_counter("loop/overflow_scheduled",
                   static_cast<std::int64_t>(ls.overflow_scheduled));
+  reg.add_counter("loop/drain_executed",
+                  static_cast<std::int64_t>(ls.drain_executed));
+  reg.add_counter("loop/drain_batched",
+                  static_cast<std::int64_t>(ls.drain_batched));
   reg.set_gauge("loop/max_pending",
                 static_cast<std::int64_t>(ls.max_pending));
   for (std::size_t i = 0; i < n; ++i) {
@@ -277,10 +307,13 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
     reg.add_counter(flow_prefix + "pacer_deferrals",
                     flow_result.pacer_deferrals);
     if (flow_result.trace != nullptr) {
-      const auto timelines = obs::build_timelines(*flow_result.trace);
-      reg.set_gauge(flow_prefix + "complete_chains",
-                    obs::count_complete(timelines));
-      for (const obs::StageErrorReport& se : obs::stage_errors(timelines)) {
+      // Streaming digest — aggregate-identical to build_timelines +
+      // count_complete + stage_errors, minus the per-packet materialization
+      // (the dominant traced-run overhead before the batched-datapath PR).
+      const obs::TraceSummary summary =
+          obs::summarize_trace(*flow_result.trace);
+      reg.set_gauge(flow_prefix + "complete_chains", summary.complete_chains);
+      for (const obs::StageErrorReport& se : summary.errors) {
         reg.histogram(flow_prefix + "pacing_error/" +
                       obs::to_string(se.stage)) = se.error_us;
       }

@@ -10,12 +10,14 @@
 namespace quicsteps::framework {
 
 SenderPath::SenderPath(sim::EventLoop& loop, const TopologyConfig& config,
-                       kernel::OsModel& os, net::PacketSink* wire) {
+                       kernel::OsModel& os, net::PacketSink* wire,
+                       net::PacketSlab* slab) {
   kernel::Nic::Config nic_cfg;
   nic_cfg.line_rate = config.server_nic_rate;
   nic_cfg.launch_time = config.server_qdisc == QdiscKind::kEtfOffload;
   nic_cfg.drop_missed_launch = config.drop_missed_launch;
   nic_ = std::make_unique<kernel::Nic>(loop, nic_cfg, os, wire);
+  if (slab != nullptr) nic_->enable_batched(slab);
 
   switch (config.server_qdisc) {
     case QdiscKind::kFifo:
@@ -76,6 +78,17 @@ BottleneckPath::BottleneckPath(sim::EventLoop& loop,
                  rng.fork(4), server_receiver_.get()) {
   bottleneck_.set_drop_observer(
       [this](const net::Packet& pkt) { ++drops_by_flow_[pkt.flow]; });
+  batched_ = config.batched_datapath;
+  if (batched_) {
+    // One slab serves the whole shared path (and, via slab(), every
+    // sender path built on it). Channel registration order is wiring
+    // order — deterministic, like trace component ids.
+    bottleneck_.enable_batched(&slab_);
+    data_netem_.enable_batched(&slab_);
+    ack_netem_.enable_batched(&slab_);
+    client_receiver_->enable_batched(&slab_);
+    server_receiver_->enable_batched(&slab_);
+  }
 }
 
 void BottleneckPath::register_flow(std::uint32_t id, net::PacketSink* data,

@@ -33,6 +33,7 @@
 #include "kernel/udp_socket.hpp"
 #include "net/counters.hpp"
 #include "net/flow_table.hpp"
+#include "net/packet_slab.hpp"
 #include "net/wire_tap.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
@@ -42,10 +43,13 @@ namespace quicsteps::framework {
 
 /// One sender's kernel egress chain, built per `config.server_qdisc`:
 /// the qdisc under test feeding a NIC that serializes onto `wire`.
+/// `slab` is the shared packet slab when the batched datapath is on
+/// (null = legacy per-packet closures).
 class SenderPath {
  public:
   SenderPath(sim::EventLoop& loop, const TopologyConfig& config,
-             kernel::OsModel& os, net::PacketSink* wire);
+             kernel::OsModel& os, net::PacketSink* wire,
+             net::PacketSlab* slab = nullptr);
 
   /// Head of the chain: the stack's UdpSocket target.
   net::PacketSink* egress() { return qdisc_.get(); }
@@ -92,6 +96,9 @@ class BottleneckPath {
 
   net::WireTap& tap() { return *tap_; }
   const net::WireTap& tap() const { return *tap_; }
+  /// The shared packet slab, or null when the legacy datapath is active.
+  /// Sender paths built on this bottleneck join the same slab.
+  net::PacketSlab* slab() { return batched_ ? &slab_ : nullptr; }
   const kernel::TbfQdisc& bottleneck() const { return bottleneck_; }
   const kernel::NetemQdisc& data_netem() const { return data_netem_; }
   const kernel::NetemQdisc& ack_netem() const { return ack_netem_; }
@@ -117,6 +124,12 @@ class BottleneckPath {
 
  private:
   kernel::OsModel client_os_;
+
+  // The flat packet store every datapath component shares under the
+  // batched datapath — constructed first so it outlives the components
+  // holding a pointer to it.
+  bool batched_ = true;
+  net::PacketSlab slab_;
 
   // Dispatch tables outlive the receivers that deliver into them.
   net::FlowTableSink data_dispatch_;

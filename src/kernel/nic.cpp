@@ -12,9 +12,28 @@ void Nic::deliver(net::Packet pkt) {
     // Segmentation happens here, at the driver boundary. Stock GSO releases
     // all segments immediately (they then serialize back-to-back at line
     // rate); the paced-GSO patch spaces segment i by i * seg/rate.
-    const auto& segments = *pkt.gso_segments;
     const bool paced = !pkt.gso_pacing_rate.is_zero();
     sim::Time release = now;
+    if (slab_ != nullptr && pkt.gso_segments.use_count() == 1) {
+      // Batched fast path: the buffer is uniquely ours at the driver
+      // boundary, so the segment train moves straight into the slab —
+      // no per-segment Packet copy.
+      auto& segments =
+          const_cast<std::vector<net::Packet>&>(*pkt.gso_segments);
+      for (auto& seg : segments) {
+        const std::int64_t seg_bytes = seg.size_bytes;
+        net::Packet wire = std::move(seg);
+        wire.kernel_entry_time = pkt.kernel_entry_time;
+        QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kGsoSegment,
+                             trace_component_, now, wire);
+        transmit(std::move(wire), release);
+        if (paced) {
+          release += pkt.gso_pacing_rate.transmit_time(seg_bytes);
+        }
+      }
+      return;
+    }
+    const auto& segments = *pkt.gso_segments;
     for (const auto& seg : segments) {
       net::Packet wire = seg;
       wire.kernel_entry_time = pkt.kernel_entry_time;
@@ -50,10 +69,27 @@ void Nic::transmit(net::Packet pkt, sim::Time earliest) {
   ++packets_sent_;
   QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kNicTx, trace_component_,
                        start, pkt);
+  if (slab_ != nullptr) {
+    // Completions are never cancelled, so the record can be slotless.
+    loop_.post_drain_at(busy_until_, tx_channel_, slab_->put(std::move(pkt)));
+    return;
+  }
   loop_.schedule_at(busy_until_, sim::EventClass::kTransmit,
                     [this, pkt = std::move(pkt)]() mutable {
     if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));
   });
+}
+
+void Nic::enable_batched(net::PacketSlab* slab) {
+  slab_ = slab;
+  tx_channel_ =
+      loop_.register_drain(sim::EventClass::kTransmit, &Nic::drain_tx, this);
+}
+
+void Nic::drain_tx(void* self, std::uint32_t ref) {
+  Nic* nic = static_cast<Nic*>(self);
+  net::Packet pkt = nic->slab_->take(ref);
+  if (nic->downstream_ != nullptr) nic->downstream_->deliver(std::move(pkt));
 }
 
 }  // namespace quicsteps::kernel

@@ -13,6 +13,7 @@
 
 #include "kernel/os_model.hpp"
 #include "net/packet.hpp"
+#include "net/packet_slab.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 
@@ -43,12 +44,21 @@ class Nic final : public net::PacketSink, public obs::TraceSource {
   std::int64_t packets_sent() const { return packets_sent_; }
   std::int64_t missed_launch_drops() const { return missed_launch_drops_; }
 
+  /// Switches TX completions to the batched datapath: completions become
+  /// drain records carrying slab refs, and GSO segments are moved (not
+  /// copied) out of a uniquely-owned buffer. Call once during wiring.
+  void enable_batched(net::PacketSlab* slab);
+
  private:
   /// Serializes one wire packet whose transmission may start no earlier
   /// than `earliest`.
   void transmit(net::Packet pkt, sim::Time earliest);
 
+  static void drain_tx(void* self, std::uint32_t ref);
+
   sim::EventLoop& loop_;
+  net::PacketSlab* slab_ = nullptr;
+  sim::DrainId tx_channel_ = 0;
   Config config_;
   OsModel& os_;
   net::PacketSink* downstream_;

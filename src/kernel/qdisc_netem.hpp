@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "kernel/qdisc.hpp"
+#include "net/packet_slab.hpp"
 #include "sim/random.hpp"
 
 namespace quicsteps::kernel {
@@ -55,6 +56,15 @@ class NetemQdisc final : public Qdisc {
       d = sim::max(d - config_.reorder_gap, sim::Duration::zero());
       ++reordered_;
     }
+    if (slab_ != nullptr) {
+      // Batched datapath: the delivery is a slotless drain record carrying
+      // a slab ref (deliveries are never cancelled). Refs are
+      // payload-addressed, so jitter and reorder deliveries surfacing out
+      // of arrival order need no extra bookkeeping.
+      loop_.post_drain_at(loop_.now() + d, delay_channel_,
+                          slab_->put(std::move(pkt)));
+      return;
+    }
     loop_.schedule_after(d, sim::EventClass::kDelay,
                          [this, pkt = std::move(pkt)]() mutable {
                            --in_flight_;
@@ -62,13 +72,29 @@ class NetemQdisc final : public Qdisc {
                          });
   }
 
+  /// Switches deliveries to slab-backed drain records (batched datapath).
+  /// Call once during wiring.
+  void enable_batched(net::PacketSlab* slab) {
+    slab_ = slab;
+    delay_channel_ = loop_.register_drain(sim::EventClass::kDelay,
+                                          &NetemQdisc::drain_delivery, this);
+  }
+
   std::int64_t in_flight() const { return in_flight_; }
   std::int64_t random_losses() const { return random_losses_; }
   std::int64_t reordered() const { return reordered_; }
 
  private:
+  static void drain_delivery(void* self, std::uint32_t ref) {
+    NetemQdisc* netem = static_cast<NetemQdisc*>(self);
+    --netem->in_flight_;
+    netem->forward(netem->slab_->take(ref));
+  }
+
   Config config_;
   sim::Rng rng_;
+  net::PacketSlab* slab_ = nullptr;
+  sim::DrainId delay_channel_ = 0;
   std::int64_t in_flight_ = 0;
   std::int64_t random_losses_ = 0;
   std::int64_t reordered_ = 0;

@@ -12,6 +12,7 @@
 #include <deque>
 
 #include "kernel/qdisc.hpp"
+#include "net/packet_slab.hpp"
 
 namespace quicsteps::kernel {
 
@@ -28,15 +29,27 @@ class TbfQdisc final : public Qdisc {
 
   void deliver(net::Packet pkt) override;
 
+  /// Switches the FIFO to slab refs (batched datapath): queued packets
+  /// live flat in the shared slab and the token loop reads byte sizes off
+  /// the slab's hot lane. Call once during wiring, while empty.
+  void enable_batched(net::PacketSlab* slab);
+
   std::int64_t backlog_bytes() const { return backlog_bytes_; }
-  std::size_t backlog_packets() const { return queue_.size(); }
+  std::size_t backlog_packets() const {
+    return slab_ != nullptr ? ref_queue_.size() : queue_.size();
+  }
 
  private:
+  static void drain_wake(void* self, std::uint32_t payload);
+
   void refill_tokens(sim::Time now);
   void try_release();
 
   Config config_;
-  std::deque<net::Packet> queue_;
+  std::deque<net::Packet> queue_;        // legacy datapath
+  std::deque<net::PacketSlab::Ref> ref_queue_;  // batched datapath
+  net::PacketSlab* slab_ = nullptr;
+  sim::DrainId wake_channel_ = 0;
   std::int64_t backlog_bytes_ = 0;
   double tokens_bytes_;
   sim::Time last_refill_;

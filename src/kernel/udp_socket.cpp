@@ -47,6 +47,12 @@ void UdpReceiver::deliver(net::Packet pkt) {
   pkt.delivery_time = loop_.now();
 
   if (gro_window_.is_zero()) {
+    if (slab_ != nullptr) {
+      // Wakeups are never cancelled, so the record can be slotless.
+      loop_.post_drain_at(loop_.now() + os_.draw_wakeup_latency(),
+                          wakeup_channel_, slab_->put(std::move(pkt)));
+      return;
+    }
     loop_.schedule_after(os_.draw_wakeup_latency(), sim::EventClass::kWakeup,
                          [this, pkt = std::move(pkt)]() mutable {
                            ++wakeups_;
@@ -68,6 +74,23 @@ void UdpReceiver::deliver(net::Packet pkt) {
         loop_.schedule_after(gro_window_ + os_.draw_wakeup_latency(),
                              sim::EventClass::kWakeup, [this] { flush(); });
   }
+}
+
+void UdpReceiver::enable_batched(net::PacketSlab* slab) {
+  slab_ = slab;
+  wakeup_channel_ = loop_.register_drain(sim::EventClass::kWakeup,
+                                         &UdpReceiver::drain_wakeup, this);
+}
+
+void UdpReceiver::drain_wakeup(void* self, std::uint32_t ref) {
+  UdpReceiver* rx = static_cast<UdpReceiver*>(self);
+  net::Packet pkt = rx->slab_->take(ref);
+  ++rx->wakeups_;
+  rx->buffered_bytes_ -= pkt.size_bytes;
+  rx->counters_.count_out(pkt.size_bytes);
+  QUICSTEPS_TRACE_SPAN(rx->trace_bus_, obs::TraceStage::kDelivery,
+                       rx->trace_component_, rx->loop_.now(), pkt);
+  if (rx->handler_) rx->handler_(std::move(pkt));
 }
 
 void UdpReceiver::flush() {

@@ -19,6 +19,7 @@
 #include "kernel/os_model.hpp"
 #include "net/counters.hpp"
 #include "net/packet.hpp"
+#include "net/packet_slab.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 
@@ -83,15 +84,23 @@ class UdpReceiver final : public net::PacketSink, public obs::TraceSource {
 
   void deliver(net::Packet pkt) override;
 
+  /// Switches per-datagram wakeups to slab-backed drain records (batched
+  /// datapath). Call once during wiring. The GRO path already batches and
+  /// is unaffected.
+  void enable_batched(net::PacketSlab* slab);
+
   const net::Counters& counters() const { return counters_; }
   /// User-space wakeups performed (each models one recvmsg/recvmmsg).
   std::int64_t wakeups() const { return wakeups_; }
 
  private:
   void flush();
+  static void drain_wakeup(void* self, std::uint32_t ref);
 
   sim::EventLoop& loop_;
   OsModel& os_;
+  net::PacketSlab* slab_ = nullptr;
+  sim::DrainId wakeup_channel_ = 0;
   std::int64_t rcvbuf_bytes_;
   sim::Duration gro_window_;
   std::int64_t buffered_bytes_ = 0;

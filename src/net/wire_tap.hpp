@@ -25,7 +25,7 @@ class WireTap final : public PacketSink, public obs::TraceSource {
     pkt.wire_time = loop_.now();
     QUICSTEPS_TRACE_SPAN(trace_bus_, obs::TraceStage::kWire,
                          trace_component_, pkt.wire_time, pkt);
-    capture_.push_back(pkt);
+    if (retain_capture_) capture_.push_back(pkt);
     if (on_packet_) on_packet_(pkt);
     if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));
   }
@@ -36,6 +36,12 @@ class WireTap final : public PacketSink, public obs::TraceSource {
   const std::vector<Packet>& capture() const { return capture_; }
   void clear() { capture_.clear(); }
 
+  /// Retention switch. Defaults to on (every Topology user reads the
+  /// capture directly); run_flows turns it off under the batched datapath
+  /// — its analysis streams through on_packet, so retaining a copy of
+  /// every wire packet was pure per-packet allocation.
+  void set_retain_capture(bool retain) { retain_capture_ = retain; }
+
   /// Optional live callback (used by long-running experiments to stream
   /// metrics instead of retaining the whole capture).
   void set_on_packet(std::function<void(const Packet&)> cb) {
@@ -45,6 +51,7 @@ class WireTap final : public PacketSink, public obs::TraceSource {
  private:
   sim::EventLoop& loop_;
   PacketSink* downstream_;
+  bool retain_capture_ = true;
   std::vector<Packet> capture_;
   std::function<void(const Packet&)> on_packet_;
 };

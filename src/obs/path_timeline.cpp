@@ -1,7 +1,7 @@
 #include "obs/path_timeline.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstddef>
 #include <utility>
 
 namespace quicsteps::obs {
@@ -26,25 +26,92 @@ std::vector<PacketTimeline> build(const TraceData& data, bool filter,
                                   std::uint32_t flow) {
   // Packet ids are unique per sender packet; retransmissions reuse a
   // packet number under a fresh id, so id is the grouping key and the
-  // number is carried along for display. Ordered map = deterministic walk.
-  std::map<std::pair<std::uint32_t, std::uint64_t>, PacketTimeline> by_key;
-  for (const SpanEvent& ev : data.events) {
-    if (filter && ev.flow != flow) continue;
-    PacketTimeline& tl = by_key[{ev.flow, ev.packet_id}];
-    if (tl.spans.empty()) {
-      tl.flow = ev.flow;
-      tl.packet_id = ev.packet_id;
-      tl.packet_number = ev.packet_number;
-    }
-    if (tl.intended.ns() == 0 && ev.intended.ns() != 0) {
-      tl.intended = ev.intended;
-    }
-    tl.spans.push_back(ev);
+  // number is carried along for display.
+  //
+  // Flat grouping in O(spans): an open-addressed hash table maps (flow,
+  // id) to a group ordinal, a counting pass sizes the groups, and a
+  // scatter lays each group out contiguously in publication order. Group
+  // DISCOVERY order is irrelevant — the final sort below alone fixes the
+  // output order — so no comparison sort over spans is needed (the
+  // stable_sort this replaces dominated traced-run overhead in
+  // BENCH_micro; ids cannot feed a counting sort because ACK ids embed
+  // the flow in their high bits).
+  const std::vector<SpanEvent>& evs = data.events;
+  std::vector<std::uint32_t> order;
+  order.reserve(evs.size());
+  for (std::uint32_t i = 0; i < evs.size(); ++i) {
+    if (filter && evs[i].flow != flow) continue;
+    order.push_back(i);
   }
+  std::size_t table_size = 16;
+  while (table_size < 2 * order.size()) table_size *= 2;
+  std::vector<std::uint32_t> table(table_size, 0);  // 0 = empty, else g + 1
+  struct GroupKey {
+    std::uint64_t id;
+    std::uint32_t flow;
+  };
+  std::vector<GroupKey> groups;
+  std::vector<std::uint32_t> group_of(order.size());
+  std::vector<std::uint32_t> counts;  // per-group span counts
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const SpanEvent& ev = evs[order[k]];
+    std::size_t h = (ev.packet_id * 0x9E3779B97F4A7C15ull ^
+                     ev.flow * 0xC2B2AE3D27D4EB4Full) &
+                    (table_size - 1);
+    std::uint32_t g;
+    for (;;) {
+      if (table[h] == 0) {
+        g = static_cast<std::uint32_t>(groups.size());
+        groups.push_back({ev.packet_id, ev.flow});
+        counts.push_back(0);
+        table[h] = g + 1;
+        break;
+      }
+      g = table[h] - 1;
+      if (groups[g].id == ev.packet_id && groups[g].flow == ev.flow) break;
+      h = (h + 1) & (table_size - 1);
+    }
+    group_of[k] = g;
+    ++counts[g];
+  }
+  std::vector<std::uint32_t> offsets(groups.size() + 1, 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    offsets[g + 1] = offsets[g] + counts[g];
+  }
+  std::vector<std::uint32_t> grouped(order.size());
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      grouped[cursor[group_of[k]]++] = order[k];
+    }
+  }
+  order = std::move(grouped);
 
   std::vector<PacketTimeline> out;
-  out.reserve(by_key.size());
-  for (auto& [key, tl] : by_key) out.push_back(std::move(tl));
+  std::size_t start = 0;
+  while (start < order.size()) {
+    const SpanEvent& first = evs[order[start]];
+    std::size_t end = start + 1;
+    while (end < order.size() && evs[order[end]].flow == first.flow &&
+           evs[order[end]].packet_id == first.packet_id) {
+      ++end;
+    }
+    PacketTimeline tl;
+    tl.flow = first.flow;
+    tl.packet_id = first.packet_id;
+    tl.packet_number = first.packet_number;
+    tl.spans.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      const SpanEvent& ev = evs[order[i]];
+      if (tl.intended.ns() == 0 && ev.intended.ns() != 0) {
+        tl.intended = ev.intended;
+      }
+      tl.spans.push_back(ev);
+    }
+    out.push_back(std::move(tl));
+    start = end;
+  }
+
   std::sort(out.begin(), out.end(),
             [](const PacketTimeline& a, const PacketTimeline& b) {
               if (a.flow != b.flow) return a.flow < b.flow;
@@ -85,6 +152,76 @@ std::vector<StageErrorReport> stage_errors(
     if (report.error_us.count() > 0) out.push_back(std::move(report));
   }
   return out;
+}
+
+TraceSummary summarize_trace(const TraceData& data) {
+  // Pass 1: hash spans into (flow, id) groups, recording each group's
+  // pacer intent (first non-zero in publication order) and stage mask.
+  // Pass 2: fold every span of every intent-carrying group into the
+  // per-stage error histograms. Aggregates are order-independent, so the
+  // result matches stage_errors(build_timelines(data)) exactly.
+  const std::vector<SpanEvent>& evs = data.events;
+  std::size_t table_size = 16;
+  while (table_size < 2 * evs.size()) table_size *= 2;
+  std::vector<std::uint32_t> table(table_size, 0);  // 0 = empty, else g + 1
+  struct Group {
+    std::uint64_t id;
+    sim::Time intended;
+    std::uint32_t flow;
+    std::uint16_t stage_mask;
+  };
+  std::vector<Group> groups;
+  std::vector<std::uint32_t> group_of(evs.size());
+  for (std::size_t k = 0; k < evs.size(); ++k) {
+    const SpanEvent& ev = evs[k];
+    std::size_t h = (ev.packet_id * 0x9E3779B97F4A7C15ull ^
+                     ev.flow * 0xC2B2AE3D27D4EB4Full) &
+                    (table_size - 1);
+    std::uint32_t g;
+    for (;;) {
+      if (table[h] == 0) {
+        g = static_cast<std::uint32_t>(groups.size());
+        groups.push_back({ev.packet_id, sim::Time::zero(), ev.flow, 0});
+        table[h] = g + 1;
+        break;
+      }
+      g = table[h] - 1;
+      if (groups[g].id == ev.packet_id && groups[g].flow == ev.flow) break;
+      h = (h + 1) & (table_size - 1);
+    }
+    if (groups[g].intended.ns() == 0) groups[g].intended = ev.intended;
+    groups[g].stage_mask |=
+        static_cast<std::uint16_t>(1u << static_cast<unsigned>(ev.stage));
+    group_of[k] = g;
+  }
+
+  TraceSummary summary;
+  constexpr std::uint16_t kCompleteMask =
+      (1u << static_cast<unsigned>(TraceStage::kPacerRelease)) |
+      (1u << static_cast<unsigned>(TraceStage::kDelivery));
+  for (const Group& g : groups) {
+    if ((g.stage_mask & kCompleteMask) == kCompleteMask) {
+      ++summary.complete_chains;
+    }
+  }
+
+  std::vector<StageErrorReport> reports(kTraceStageCount);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    reports[i].stage = static_cast<TraceStage>(i);
+  }
+  for (std::size_t k = 0; k < evs.size(); ++k) {
+    const sim::Time intended = groups[group_of[k]].intended;
+    if (intended.ns() == 0) continue;
+    const SpanEvent& ev = evs[k];
+    reports[static_cast<std::size_t>(ev.stage)].error_us.observe(
+        (ev.at - intended).us());
+  }
+  for (StageErrorReport& report : reports) {
+    if (report.error_us.count() > 0) {
+      summary.errors.push_back(std::move(report));
+    }
+  }
+  return summary;
 }
 
 std::int64_t count_complete(const std::vector<PacketTimeline>& timelines) {

@@ -63,4 +63,15 @@ std::vector<StageErrorReport> stage_errors(
 /// Timelines that start at the pacer and end at delivery.
 std::int64_t count_complete(const std::vector<PacketTimeline>& timelines);
 
+/// The per-run trace digest the metrics registry publishes: complete-chain
+/// count plus per-stage pacing errors, computed in two passes straight off
+/// the span stream. Aggregate-identical to running count_complete and
+/// stage_errors over build_timelines(data), without materializing a
+/// timeline per packet — the traced hot path uses this.
+struct TraceSummary {
+  std::int64_t complete_chains = 0;
+  std::vector<StageErrorReport> errors;
+};
+TraceSummary summarize_trace(const TraceData& data);
+
 }  // namespace quicsteps::obs

@@ -103,6 +103,17 @@ class TraceBus {
 
   void publish(const SpanEvent& ev) { data_.events.push_back(ev); }
 
+  /// Appends a whole span train in one call — one capacity check and one
+  /// contiguous copy instead of a push_back per span. The GSO expansion in
+  /// publish_packet_span uses this so a segment train costs one flush.
+  void publish_train(const SpanEvent* evs, std::size_t n) {
+    data_.events.insert(data_.events.end(), evs, evs + n);
+  }
+
+  /// Pre-sizes the span store (run_flows hints with the expected packet
+  /// count so a traced run never reallocates mid-flight).
+  void reserve(std::size_t n) { data_.events.reserve(n); }
+
   const std::vector<std::string>& component_names() const {
     return data_.components;
   }
@@ -132,13 +143,23 @@ inline SpanEvent make_span(TraceStage stage, std::uint16_t component,
 /// Publishes one span per wire packet: a GSO super-packet is expanded into
 /// its segments so every delivered packet's chain stays complete even
 /// through stages that handle the buffer as one unit (socket, qdiscs).
+/// The segment train is buffered on the stack and flushed with one
+/// publish_train call.
 inline void publish_packet_span(TraceBus* bus, TraceStage stage,
                                 std::uint16_t component, sim::Time at,
                                 const net::Packet& pkt) {
   if (pkt.is_gso_buffer()) {
+    constexpr std::size_t kTrainBuf = 64;
+    SpanEvent train[kTrainBuf];
+    std::size_t n = 0;
     for (const net::Packet& seg : *pkt.gso_segments) {
-      bus->publish(make_span(stage, component, at, seg));
+      train[n++] = make_span(stage, component, at, seg);
+      if (n == kTrainBuf) {
+        bus->publish_train(train, n);
+        n = 0;
+      }
     }
+    if (n > 0) bus->publish_train(train, n);
     return;
   }
   bus->publish(make_span(stage, component, at, pkt));
@@ -161,14 +182,17 @@ class TraceSource {
 
 #ifdef QUICSTEPS_TRACE_ENABLED
 /// Publishes a span for `pkt` at stage `stage`. Compiled to nothing when
-/// the build disables QUICSTEPS_TRACE; otherwise costs one null check while
-/// no run has installed a bus.
-#define QUICSTEPS_TRACE_SPAN(bus, stage, component, at, pkt)              \
-  do {                                                                    \
-    if ((bus) != nullptr) {                                               \
-      ::quicsteps::obs::publish_packet_span((bus), (stage), (component),  \
-                                            (at), (pkt));                 \
-    }                                                                     \
+/// the build disables QUICSTEPS_TRACE. Otherwise the bus pointer is read
+/// once into a local and tested with a single branch predicted not-taken:
+/// a compiled-in-but-disabled site is one load + one never-taken jump,
+/// with the publish call laid out out-of-line off the fast path.
+#define QUICSTEPS_TRACE_SPAN(bus, stage, component, at, pkt)               \
+  do {                                                                     \
+    ::quicsteps::obs::TraceBus* const qs_span_bus_ = (bus);                \
+    if (__builtin_expect(qs_span_bus_ != nullptr, 0)) {                    \
+      ::quicsteps::obs::publish_packet_span(qs_span_bus_, (stage),         \
+                                            (component), (at), (pkt));     \
+    }                                                                      \
   } while (false)
 #else
 #define QUICSTEPS_TRACE_SPAN(bus, stage, component, at, pkt) \

@@ -65,6 +65,21 @@ std::int64_t ByteIntervalSet::add(std::int64_t offset, std::int64_t length) {
   std::int64_t start = offset;
   std::int64_t end = offset + length;
 
+  // In-order fast path: back-to-back stream delivery appends at (or
+  // inside) the interval with the greatest start. Extending it in place
+  // skips the erase + re-insert tree rebalances of the general path. The
+  // last interval has no successor, so no absorption check is needed.
+  if (!intervals_.empty()) {
+    auto last = std::prev(intervals_.end());
+    if (start >= last->first && start <= last->second) {
+      if (end <= last->second) return 0;  // fully covered already
+      const std::int64_t new_bytes = end - last->second;
+      last->second = end;
+      covered_ += new_bytes;
+      return new_bytes;
+    }
+  }
+
   // Absorb every interval overlapping or touching [start, end).
   auto it = intervals_.upper_bound(start);
   if (it != intervals_.begin()) {

@@ -38,14 +38,31 @@ void ReferenceServer::attempt_send() {
 }
 
 void ReferenceServer::rearm_loss_timer() {
-  loss_timer_.cancel();
+  const sim::Time deadline = connection_.next_timer_deadline();
+  if (loss_timer_.pending()) {
+    // Lazy re-arm (same discipline as StackServer): a deadline that only
+    // moved later keeps the armed timer; the fire handler re-checks.
+    if (deadline >= armed_loss_deadline_) return;
+    loss_timer_.cancel();
+  }
+  if (deadline.is_infinite()) return;
+  armed_loss_deadline_ = deadline;
+  loss_timer_ = loop_.schedule_at(deadline, sim::EventClass::kTimer,
+                                  [this] { on_loss_timer(); });
+}
+
+void ReferenceServer::on_loss_timer() {
   const sim::Time deadline = connection_.next_timer_deadline();
   if (deadline.is_infinite()) return;
-  loss_timer_ = loop_.schedule_at(deadline, sim::EventClass::kTimer, [this] {
-    connection_.on_timer(loop_.now());
-    rearm_loss_timer();
-    attempt_send();
-  });
+  if (loop_.now() < deadline) {
+    armed_loss_deadline_ = deadline;
+    loss_timer_ = loop_.schedule_at(deadline, sim::EventClass::kTimer,
+                                    [this] { on_loss_timer(); });
+    return;
+  }
+  connection_.on_timer(loop_.now());
+  rearm_loss_timer();
+  attempt_send();
 }
 
 }  // namespace quicsteps::quic

@@ -48,6 +48,7 @@ class ReferenceServer : public net::PacketSink, public obs::TraceSource {
  private:
   void attempt_send();
   void rearm_loss_timer();
+  void on_loss_timer();
 
   sim::EventLoop& loop_;
   Connection connection_;
@@ -59,6 +60,8 @@ class ReferenceServer : public net::PacketSink, public obs::TraceSource {
   sim::Time planned_release_ = sim::Time::infinite();
   sim::EventHandle send_timer_;
   sim::EventHandle loss_timer_;
+  /// Deadline loss_timer_ is armed for (lazy re-arm; see StackServer).
+  sim::Time armed_loss_deadline_ = sim::Time::infinite();
 };
 
 }  // namespace quicsteps::quic

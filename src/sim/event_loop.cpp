@@ -79,6 +79,69 @@ EventHandle EventLoop::schedule_after(Duration delay, EventClass cls,
   return schedule_at(now_ + delay, cls, std::move(fn));
 }
 
+DrainId EventLoop::register_drain(EventClass cls, DrainFn fn, void* ctx) {
+  QUICSTEPS_AUDIT(drains_.size() <= kTrainChannelMask,
+                  "drain channel id space exhausted");
+  drains_.push_back(DrainChannel{fn, ctx, cls});
+  return static_cast<DrainId>(drains_.size() - 1);
+}
+
+EventHandle EventLoop::schedule_drain_at(Time at, DrainId ch,
+                                         std::uint32_t payload) {
+  if (at < now_) at = now_;
+  QUICSTEPS_AUDIT(ch < drains_.size(), "drain channel not registered");
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  // Recycled slots come back with fn already null (run_one moves it out,
+  // cancel_slot clears it), so a drain record touches no std::function.
+  Slot& s = slots_[slot];
+  s.payload = payload;
+  s.live = true;
+
+  const Rec rec{at.ns(), next_seq_++, slot,
+                static_cast<std::uint16_t>(kTrainClsBit | ch)};
+  ++live_count_;
+  if constexpr (kLoopProfilingEnabled) {
+    ++stats_.scheduled[static_cast<std::size_t>(drains_[ch].cls)];
+    if (live_count_ > stats_.max_pending) stats_.max_pending = live_count_;
+  }
+  if (bucket_index(rec.at_ns) < base_idx_ + kBuckets) {
+    wheel_insert(rec);
+  } else {
+    if constexpr (kLoopProfilingEnabled) ++stats_.overflow_scheduled;
+    overflow_.push_back(rec);
+    std::push_heap(overflow_.begin(), overflow_.end(), rec_after);
+  }
+  return EventHandle(this, slot, s.gen);
+}
+
+void EventLoop::post_drain_at(Time at, DrainId ch, std::uint32_t payload) {
+  if (at < now_) at = now_;
+  QUICSTEPS_AUDIT(ch < drains_.size(), "drain channel not registered");
+
+  const Rec rec{at.ns(), next_seq_++, payload,
+                static_cast<std::uint16_t>(kTrainClsBit | kPostClsBit | ch)};
+  ++live_count_;
+  if constexpr (kLoopProfilingEnabled) {
+    ++stats_.scheduled[static_cast<std::size_t>(drains_[ch].cls)];
+    if (live_count_ > stats_.max_pending) stats_.max_pending = live_count_;
+  }
+  if (bucket_index(rec.at_ns) < base_idx_ + kBuckets) {
+    wheel_insert(rec);
+  } else {
+    if constexpr (kLoopProfilingEnabled) ++stats_.overflow_scheduled;
+    overflow_.push_back(rec);
+    std::push_heap(overflow_.begin(), overflow_.end(), rec_after);
+  }
+}
+
 void EventLoop::deactivate_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   QUICSTEPS_AUDIT(s.live, "slab slot deactivated twice");
@@ -107,7 +170,7 @@ void EventLoop::wheel_insert(const Rec& rec) {
 }
 
 void EventLoop::clean_overflow_top() {
-  while (!overflow_.empty() && !slots_[overflow_.front().slot].live) {
+  while (!overflow_.empty() && !rec_live(overflow_.front())) {
     release_slot(overflow_.front().slot);
     std::pop_heap(overflow_.begin(), overflow_.end(), rec_after);
     overflow_.pop_back();
@@ -148,7 +211,7 @@ void EventLoop::advance_now(Time to) {
     const Rec rec = overflow_.front();
     std::pop_heap(overflow_.begin(), overflow_.end(), rec_after);
     overflow_.pop_back();
-    if (slots_[rec.slot].live) {
+    if (rec_live(rec)) {
       wheel_insert(rec);
     } else {
       release_slot(rec.slot);
@@ -170,7 +233,7 @@ bool EventLoop::locate_next(bool* from_overflow) {
           // earliest record off the back.
           std::size_t kept = 0;
           for (const Rec& rec : b) {
-            if (slots_[rec.slot].live) {
+            if (rec_live(rec)) {
               b[kept++] = rec;
             } else {
               release_slot(rec.slot);
@@ -184,7 +247,7 @@ bool EventLoop::locate_next(bool* from_overflow) {
         } else {
           // Sorted earlier; records cancelled since then pile up dead at
           // arbitrary positions — only the back needs to be live.
-          while (!b.empty() && !slots_[b.back().slot].live) {
+          while (!b.empty() && !rec_live(b.back())) {
             release_slot(b.back().slot);
             b.pop_back();
             --wheel_count_;
@@ -214,30 +277,61 @@ bool EventLoop::locate_next(bool* from_overflow) {
 }
 
 bool EventLoop::run_one() {
-  bool from_overflow = false;
-  if (!locate_next(&from_overflow)) return false;
-
   Rec rec;
-  if (from_overflow) {
-    rec = overflow_.front();
-    std::pop_heap(overflow_.begin(), overflow_.end(), rec_after);
-    overflow_.pop_back();
-    clean_overflow_top();
-  } else {
+  bool have = false;
+  // Fast path: the cursor run_one/drain_trains left behind is still pinned
+  // on the sorted active bucket (the same invariant drain_trains relies
+  // on: an earlier insert lowers hint_idx_, an insert into the bucket
+  // clears active_sorted_), so the earliest live record is its back — no
+  // bitmap scan needed. Overflow records sit beyond the wheel horizon by
+  // construction, so they can never beat a wheel record.
+  if (active_idx_ != kNoBucket && active_sorted_ && hint_idx_ == active_idx_) {
     std::vector<Rec>& b = wheel_[active_idx_ & kMask];
-    rec = b.back();
-    b.pop_back();
-    --wheel_count_;
+    while (!b.empty() && !rec_live(b.back())) {
+      release_slot(b.back().slot);
+      b.pop_back();
+      --wheel_count_;
+    }
+    if (!b.empty()) {
+      rec = b.back();
+      b.pop_back();
+      --wheel_count_;
+      have = true;
+    }
     if (b.empty()) {
       clear_bit(active_idx_);
       active_idx_ = kNoBucket;
     }
   }
+  if (!have) {
+    bool from_overflow = false;
+    if (!locate_next(&from_overflow)) return false;
+    if (from_overflow) {
+      rec = overflow_.front();
+      std::pop_heap(overflow_.begin(), overflow_.end(), rec_after);
+      overflow_.pop_back();
+      clean_overflow_top();
+    } else {
+      std::vector<Rec>& b = wheel_[active_idx_ & kMask];
+      rec = b.back();
+      b.pop_back();
+      --wheel_count_;
+      if (b.empty()) {
+        clear_bit(active_idx_);
+        active_idx_ = kNoBucket;
+      }
+    }
+  }
 
   QUICSTEPS_AUDIT(rec.at_ns >= now_.ns(),
                   "calendar queue surfaced an event before now()");
-  QUICSTEPS_AUDIT(rec.slot < slots_.size() && slots_[rec.slot].live,
+  QUICSTEPS_AUDIT((rec.cls & kPostClsBit) != 0 ||
+                      (rec.slot < slots_.size() && slots_[rec.slot].live),
                   "calendar queue surfaced a record for a dead slab slot");
+  if (rec.cls & kTrainClsBit) {
+    execute_train(rec);
+    return true;
+  }
   // Move the callback out before running: it may schedule new events into
   // this very slot (recycled via the free list) or cancel others.
   std::function<void()> fn = std::move(slots_[rec.slot].fn);
@@ -251,9 +345,70 @@ bool EventLoop::run_one() {
   return true;
 }
 
+void EventLoop::execute_train(const Rec& rec) {
+  // Copy the channel out: drains_ never shrinks, but the callback may
+  // register more channels and reallocate the vector.
+  const DrainChannel ch = drains_[rec.cls & kTrainChannelMask];
+  std::uint32_t payload;
+  if (rec.cls & kPostClsBit) {
+    payload = rec.slot;  // slotless: the payload rides in the record
+    --live_count_;
+  } else {
+    payload = slots_[rec.slot].payload;
+    deactivate_slot(rec.slot);
+    release_slot(rec.slot);
+  }
+  if constexpr (kLoopProfilingEnabled) {
+    ++stats_.executed[static_cast<std::size_t>(ch.cls)];
+    ++stats_.drain_executed;
+  }
+  advance_now(Time::from_ns(rec.at_ns));
+  ch.fn(ch.ctx, payload);
+}
+
+std::size_t EventLoop::drain_trains(Time deadline) {
+  std::size_t n = 0;
+  for (;;) {
+    // The fast path is only sound while the cursor state run_one left
+    // behind is provably untouched: the active bucket is still the sorted
+    // front (an insert into an earlier bucket moves hint_idx_ below it; an
+    // insert into the bucket itself clears active_sorted_).
+    if (active_idx_ == kNoBucket || !active_sorted_) break;
+    if (hint_idx_ != active_idx_) break;
+    std::vector<Rec>& b = wheel_[active_idx_ & kMask];
+    if (b.empty()) break;
+    const Rec rec = b.back();
+    if (!(rec.cls & kTrainClsBit)) break;
+    if (!rec_live(rec)) break;  // cancelled since the sort
+    if (rec.at_ns > deadline.ns()) break;
+    b.pop_back();
+    --wheel_count_;
+    ++n;
+    if constexpr (kLoopProfilingEnabled) ++stats_.drain_batched;
+    if (b.empty()) {
+      clear_bit(active_idx_);
+      active_idx_ = kNoBucket;
+      execute_train(rec);
+      // The bucket is drained but the train may continue in the next one:
+      // re-position the cursor (locate_next prunes and sorts exactly as it
+      // would for run_one) and let the loop conditions decide. When the
+      // next record is a closure, past the deadline, or from the overflow
+      // heap, the cursor state is left for run_one to consume.
+      bool from_overflow = false;
+      if (!locate_next(&from_overflow) || from_overflow) break;
+      continue;
+    }
+    execute_train(rec);
+  }
+  return n;
+}
+
 std::size_t EventLoop::run() {
   std::size_t n = 0;
-  while (run_one()) ++n;
+  while (run_one()) {
+    ++n;
+    n += drain_trains(Time::infinite());
+  }
   return n;
 }
 
@@ -267,6 +422,7 @@ std::size_t EventLoop::run_until(Time deadline) {
     if (at > deadline.ns()) break;
     run_one();
     ++n;
+    n += drain_trains(deadline);
   }
   if (now_ < deadline) advance_now(deadline);
   return n;
@@ -282,7 +438,7 @@ Time EventLoop::next_event_time() const {
     const std::vector<Rec>& b = wheel_[idx & kMask];
     const Rec* best = nullptr;
     for (const Rec& rec : b) {
-      if (!slots_[rec.slot].live) continue;
+      if (!rec_live(rec)) continue;
       if (best == nullptr || rec_before(rec, *best)) best = &rec;
     }
     if (best != nullptr) return Time::from_ns(best->at_ns);

@@ -13,6 +13,16 @@
 // Cancellation through the returned handle is amortized O(1): the slot's
 // generation counter is bumped and the stale queue record is skipped when
 // it surfaces.
+//
+// Drain channels are the batched-datapath fast lane: a component registers
+// a raw function pointer once and then schedules 32-bit payloads (packet
+// slab refs, see net/packet_slab.hpp) instead of closures. A drain record
+// costs no std::function construction when scheduled and no indirect
+// closure teardown when it runs, and run()/run_until() execute consecutive
+// drain records off the sorted active bucket in a tight train loop without
+// re-entering the cursor search. Drain records share the global sequence
+// counter with closure events, so a datapath that switches a schedule site
+// from closures to drains preserves execution order bit-for-bit.
 #pragma once
 
 #include <array>
@@ -64,6 +74,10 @@ struct LoopStats {
   std::uint64_t overflow_scheduled = 0;
   /// High-water mark of live pending events.
   std::uint64_t max_pending = 0;
+  /// Drain-channel records executed (subset of `executed`), and how many
+  /// of those rode the run() train loop instead of a full cursor search.
+  std::uint64_t drain_executed = 0;
+  std::uint64_t drain_batched = 0;
 };
 
 /// Handle to a scheduled event. Default-constructed handles are inert.
@@ -91,6 +105,15 @@ class EventHandle {
   std::uint32_t gen_ = 0;
 };
 
+/// A drain callback: `payload` is whatever 32-bit value the scheduling
+/// site passed (by convention a net::PacketSlab ref). Plain function
+/// pointer + context, so dispatch is one indirect call with no closure
+/// storage behind it.
+using DrainFn = void (*)(void* ctx, std::uint32_t payload);
+
+/// Identifier handed out by EventLoop::register_drain.
+using DrainId = std::uint16_t;
+
 class EventLoop {
  public:
   EventLoop();
@@ -115,6 +138,26 @@ class EventLoop {
   EventHandle schedule_at(Time at, EventClass cls, std::function<void()> fn);
   EventHandle schedule_after(Duration delay, EventClass cls,
                              std::function<void()> fn);
+
+  /// Registers a drain channel. Called once per component during wiring;
+  /// `cls` is the event class its records are profiled under. The channel
+  /// lives as long as the loop.
+  DrainId register_drain(EventClass cls, DrainFn fn, void* ctx);
+
+  /// Schedules `payload` to be handed to channel `ch` at absolute time
+  /// `at` (clamped to now() like schedule_at). Fully interleaves with
+  /// closure events: both draw from one sequence counter, so relative
+  /// execution order matches an equivalent schedule_at call exactly.
+  EventHandle schedule_drain_at(Time at, DrainId ch, std::uint32_t payload);
+
+  /// Fire-and-forget variant of schedule_drain_at: the payload rides in
+  /// the queue record itself, so no slab slot is touched on schedule or
+  /// execute — but there is no handle and the record cannot be cancelled.
+  /// This is the cheapest way through the loop; use it for records that
+  /// are never cancelled (NIC completions, propagation-delay deliveries,
+  /// receive wakeups). Ordering is identical to the other schedule calls
+  /// (same sequence counter).
+  void post_drain_at(Time at, DrainId ch, std::uint32_t payload);
 
   /// Runs events until the queue is empty. Returns the number executed.
   std::size_t run();
@@ -147,8 +190,12 @@ class EventLoop {
 
   /// Callback storage, recycled through a free list. `gen` advances every
   /// time the slot's event runs or is cancelled, invalidating old handles.
+  /// Drain records use a slot too (for the shared liveness/cancellation
+  /// machinery) but leave `fn` null and carry their payload here instead —
+  /// scheduling one never constructs a std::function.
   struct Slot {
     std::function<void()> fn;
+    std::uint32_t payload = 0;
     std::uint32_t gen = 0;
     bool live = false;
   };
@@ -156,6 +203,11 @@ class EventLoop {
   /// 24-byte POD queue record. A record whose slot is no longer live is a
   /// tombstone and is dropped when it surfaces. The event-class tag lives
   /// in bytes that were padding before, so profiling does not grow it.
+  /// Records with kTrainClsBit set are drain records: the low cls bits are
+  /// the DrainId and the slot's payload goes to the channel's function.
+  /// Records that also carry kPostClsBit are slotless (post_drain_at): the
+  /// `slot` field IS the payload, the record is always live, and no slab
+  /// slot is consulted on any path.
   struct Rec {
     std::int64_t at_ns;
     std::uint64_t seq;
@@ -163,6 +215,16 @@ class EventLoop {
     std::uint16_t cls;
   };
   static_assert(sizeof(Rec) == 24, "Rec must stay a 24-byte POD");
+
+  static constexpr std::uint16_t kTrainClsBit = 0x8000;
+  static constexpr std::uint16_t kPostClsBit = 0x4000;
+  static constexpr std::uint16_t kTrainChannelMask = 0x3fff;
+
+  struct DrainChannel {
+    DrainFn fn = nullptr;
+    void* ctx = nullptr;
+    EventClass cls = EventClass::kGeneral;
+  };
 
   static bool rec_before(const Rec& a, const Rec& b) {
     if (a.at_ns != b.at_ns) return a.at_ns < b.at_ns;
@@ -179,6 +241,13 @@ class EventLoop {
   bool slot_live(std::uint32_t slot, std::uint32_t gen) const {
     return slot < slots_.size() && slots_[slot].live &&
            slots_[slot].gen == gen;
+  }
+  /// Liveness of a queue record: slotless drain records are always live
+  /// (nothing can cancel them); everything else defers to its slot. A dead
+  /// record is therefore always slotted, so pruning may release its slot
+  /// unconditionally.
+  bool rec_live(const Rec& rec) const {
+    return (rec.cls & kPostClsBit) != 0 || slots_[rec.slot].live;
   }
   void cancel_slot(std::uint32_t slot, std::uint32_t gen);
   /// Marks a slot's event as done (executed or cancelled): handles go inert.
@@ -209,7 +278,17 @@ class EventLoop {
   /// false) or overflow_.front().
   bool locate_next(bool* from_overflow);
 
+  /// Runs one surfaced drain record: payload out, slot recycled, channel
+  /// function called (the drain-path analogue of run_one's tail).
+  void execute_train(const Rec& rec);
+  /// Train loop: executes consecutive drain records (time <= deadline)
+  /// off the back of the sorted active bucket without re-entering
+  /// locate_next, stopping the moment a callback perturbs cursor state or
+  /// a closure record surfaces. Returns the number executed.
+  std::size_t drain_trains(Time deadline);
+
   std::vector<Slot> slots_;
+  std::vector<DrainChannel> drains_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<std::vector<Rec>> wheel_;
   std::array<std::uint64_t, kBuckets / 64> occupied_{};

@@ -204,14 +204,37 @@ void StackServer::send_waiting() {
 }
 
 void StackServer::rearm_loss_timer() {
-  loss_timer_.cancel();
   const sim::Time deadline = connection_.next_timer_deadline();
+  if (loss_timer_.pending()) {
+    // Lazy re-arm: every sent packet pushes the PTO deadline later, so the
+    // common case is "deadline moved out" — leave the armed timer alone
+    // and let the fire handler re-check. Only an earlier deadline forces a
+    // reschedule. This turns the per-packet cancel + closure schedule into
+    // a compare.
+    if (deadline >= armed_loss_deadline_) return;
+    loss_timer_.cancel();
+  }
   if (deadline.is_infinite()) return;
-  loss_timer_ = loop_.schedule_at(deadline, sim::EventClass::kTimer, [this] {
-    connection_.on_timer(loop_.now());
-    rearm_loss_timer();
-    attempt_send();
-  });
+  armed_loss_deadline_ = deadline;
+  loss_timer_ = loop_.schedule_at(deadline, sim::EventClass::kTimer,
+                                  [this] { on_loss_timer(); });
+}
+
+void StackServer::on_loss_timer() {
+  const sim::Time deadline = connection_.next_timer_deadline();
+  if (deadline.is_infinite()) return;  // everything was acked meanwhile
+  if (loop_.now() < deadline) {
+    // Spurious wake: the deadline moved later since arming. Re-arm
+    // silently — no connection callback, so behavior (and the wire) is
+    // exactly what an eagerly re-armed timer would have produced.
+    armed_loss_deadline_ = deadline;
+    loss_timer_ = loop_.schedule_at(deadline, sim::EventClass::kTimer,
+                                    [this] { on_loss_timer(); });
+    return;
+  }
+  connection_.on_timer(loop_.now());
+  rearm_loss_timer();
+  attempt_send();
 }
 
 }  // namespace quicsteps::stacks

@@ -67,6 +67,7 @@ class StackServer : public net::PacketSink, public obs::TraceSource {
   void send_waiting();      // ngtcp2 / picoquic discipline
   void flush_gso_batch(std::vector<net::Packet> batch);
   void rearm_loss_timer();
+  void on_loss_timer();
   void charge_syscall();
 
   sim::EventLoop& loop_;
@@ -82,6 +83,10 @@ class StackServer : public net::PacketSink, public obs::TraceSource {
   sim::EventHandle send_timer_;
   sim::EventHandle yield_timer_;
   sim::EventHandle loss_timer_;
+  /// Deadline loss_timer_ is armed for (lazy re-arm: the timer may sit at
+  /// an earlier time than the connection's current deadline and silently
+  /// re-arm when it fires).
+  sim::Time armed_loss_deadline_ = sim::Time::infinite();
 
   Stats stats_;
 };

@@ -150,15 +150,17 @@ TEST(AnalyzeLexer, BackslashNewlineSplicesKeepDirectiveState) {
 // Rule registry
 // ---------------------------------------------------------------------------
 
-TEST(AnalyzeRules, RegistryListsAllFourteenRules) {
+TEST(AnalyzeRules, RegistryListsAllFifteenRules) {
   const auto& rules = quicsteps::analyze::all_rules();
-  EXPECT_EQ(rules.size(), 14u);
+  EXPECT_EQ(rules.size(), 15u);
   EXPECT_TRUE(quicsteps::analyze::known_rule("determinism/wall-clock"));
   EXPECT_TRUE(
       quicsteps::analyze::known_rule("determinism/exporter-unordered"));
   EXPECT_TRUE(quicsteps::analyze::known_rule("layering/cycle"));
+  EXPECT_TRUE(quicsteps::analyze::known_rule("perf/hot-path-alloc"));
   EXPECT_FALSE(quicsteps::analyze::known_rule("determinism/flux-capacitor"));
   EXPECT_EQ(quicsteps::analyze::rule_family("units/raw-rate-type"), "units");
+  EXPECT_EQ(quicsteps::analyze::rule_family("perf/hot-path-alloc"), "perf");
 }
 
 // ---------------------------------------------------------------------------
@@ -283,6 +285,39 @@ TEST(AnalyzeLayering, RealManifestLoadsAndDeclaresTheStack) {
   EXPECT_TRUE(manifest.is_universal("check"));
   EXPECT_TRUE(manifest.is_universal("obs"));
   EXPECT_FALSE(manifest.is_universal("sim"));
+  // The batched-datapath files are tagged hot_path for perf/hot-path-alloc.
+  EXPECT_TRUE(manifest.is_hot_path("sim/event_loop.cpp"));
+  EXPECT_TRUE(manifest.is_hot_path("net/packet_slab.hpp"));
+  EXPECT_TRUE(manifest.is_hot_path("kernel/nic.cpp"));
+  EXPECT_FALSE(manifest.is_hot_path("framework/flows.cpp"));
+}
+
+// ---------------------------------------------------------------------------
+// Perf fixture: hot-path allocation tagging
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzePerf, FlagsEveryAllocationPatternInHotPathFilesOnly) {
+  Options opts;
+  opts.root = kTestdata + "/perf";
+  opts.paths = {opts.root};
+  opts.include_base = opts.root;
+  opts.layers_file = kTestdata + "/perf/layers.json";
+  opts.rule_families = {"perf"};
+  AnalysisResult result = quicsteps::analyze::run_analysis(opts);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.rules_run, 1u);
+  EXPECT_EQ(result.files_scanned, 2u);
+  // cold.cpp repeats the same patterns untagged and must stay silent.
+  const std::vector<std::string> expected = {
+      "hot.cpp:4 perf/hot-path-alloc",   // new
+      "hot.cpp:5 perf/hot-path-alloc",   // make_unique
+      "hot.cpp:6 perf/hot-path-alloc",   // make_shared
+      "hot.cpp:7 perf/hot-path-alloc",   // push_back
+      "hot.cpp:8 perf/hot-path-alloc",   // emplace_back
+      "hot.cpp:9 perf/hot-path-alloc",   // schedule_at
+      "hot.cpp:10 perf/hot-path-alloc",  // schedule_after
+  };
+  EXPECT_EQ(finding_keys(result), expected);
 }
 
 TEST(AnalyzeLayering, CyclicDeclaredGraphIsAConfigError) {

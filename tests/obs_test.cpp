@@ -198,6 +198,28 @@ TEST(PathTimeline, StageErrorsDiffAgainstIntentInPathOrder) {
   }
 }
 
+TEST(PathTimeline, SummarizeTraceMatchesTimelineDerivation) {
+  // The streaming digest must agree with the materialized derivation on
+  // every aggregate it replaces in the per-run metrics registry.
+  const TraceData data = two_packet_trace();
+  const auto timelines = obs::build_timelines(data);
+  const auto reports = obs::stage_errors(timelines);
+  const obs::TraceSummary summary = obs::summarize_trace(data);
+
+  EXPECT_EQ(summary.complete_chains, obs::count_complete(timelines));
+  ASSERT_EQ(summary.errors.size(), reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(summary.errors[i].stage, reports[i].stage);
+    EXPECT_EQ(summary.errors[i].error_us.count(),
+              reports[i].error_us.count());
+    EXPECT_EQ(summary.errors[i].error_us.sum(), reports[i].error_us.sum());
+    EXPECT_EQ(summary.errors[i].error_us.min(), reports[i].error_us.min());
+    EXPECT_EQ(summary.errors[i].error_us.max(), reports[i].error_us.max());
+    EXPECT_EQ(summary.errors[i].error_us.bucket_counts(),
+              reports[i].error_us.bucket_counts());
+  }
+}
+
 // -------------------------------------------------------- exporter goldens
 
 TraceData golden_trace() {
@@ -297,6 +319,19 @@ TEST(TraceEndToEnd, EveryPacedPacketChainsToDeliveryOrDrop) {
   EXPECT_GT(paced, 0);
   EXPECT_EQ(obs::count_complete(timelines), paced - dropped);
   EXPECT_EQ(paced, run.pacer_releases);
+
+  // The streaming digest agrees with the materialized derivation on a
+  // real span stream too (GSO trains, retransmissions, ACK spans).
+  const obs::TraceSummary summary = obs::summarize_trace(*run.trace);
+  EXPECT_EQ(summary.complete_chains, obs::count_complete(timelines));
+  const auto reports = obs::stage_errors(timelines);
+  ASSERT_EQ(summary.errors.size(), reports.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(summary.errors[i].stage, reports[i].stage);
+    EXPECT_EQ(summary.errors[i].error_us.count(),
+              reports[i].error_us.count());
+    EXPECT_EQ(summary.errors[i].error_us.sum(), reports[i].error_us.sum());
+  }
 }
 
 TEST(TraceEndToEnd, WireSpansMatchTheCaptureAndPrecisionAnalyzer) {

@@ -46,7 +46,12 @@ AnalysisResult run_analysis(const Options& options) {
   result.files_scanned = model.files.size();
 
   std::vector<Finding> findings;
-  if (family_enabled(options, "layering")) {
+  // The manifest feeds two families: layering (the DAG) and perf (the
+  // hot_path file tags). "-" skips both — fixture trees without a real
+  // layer stack opt out of manifest-driven rules entirely.
+  const bool want_layering = family_enabled(options, "layering");
+  const bool want_perf = family_enabled(options, "perf");
+  if (want_layering || want_perf) {
     std::string layers_path = options.layers_file.empty()
                                   ? root + "/tools/analyze/layers.json"
                                   : options.layers_file;
@@ -60,7 +65,8 @@ AnalysisResult run_analysis(const Options& options) {
       if (!load_layer_manifest(json_text, &manifest, &result.error)) {
         return result;
       }
-      run_layering_rules(model, manifest, &findings);
+      if (want_layering) run_layering_rules(model, manifest, &findings);
+      if (want_perf) run_perf_rules(model, manifest, &findings);
     }
   }
   if (family_enabled(options, "units")) run_units_rules(model, &findings);

@@ -38,6 +38,12 @@ const std::vector<RuleInfo>& all_rules() {
       {"scheduling/ref-capture",
        "Lambda passed to EventLoop::schedule_at/schedule_after captures by "
        "reference (dangling-callback heuristic)."},
+      {"perf/hot-path-alloc",
+       "Per-packet allocation in a hot-path file (tagged in "
+       "tools/analyze/layers.json): operator new / make_unique / "
+       "make_shared, container growth, or a std::function closure schedule "
+       "— use the packet slab and drain channels, or baseline with the "
+       "rationale."},
   };
   return kRules;
 }

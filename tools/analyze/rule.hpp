@@ -37,12 +37,16 @@ bool known_rule(const std::string& rule_id);
 /// Family prefix of an ID ("determinism/wall-clock" -> "determinism").
 std::string rule_family(const std::string& rule_id);
 
-/// The layering manifest: which layer may include which.
+/// The layering manifest: which layer may include which, plus the
+/// hot-path file tags the perf/* rules key off.
 struct LayerManifest {
   /// layer -> allowed dependency layers ("*" = everything).
   std::vector<std::pair<std::string, std::vector<std::string>>> allow;
   /// Layers includable from anywhere (the audit spine and the umbrella).
   std::vector<std::string> universal;
+  /// Files (by include key, e.g. "kernel/nic.cpp") on the per-packet
+  /// datapath: perf/hot-path-alloc flags allocation there.
+  std::vector<std::string> hot_path;
 
   bool declared(const std::string& layer) const {
     for (const auto& [name, deps] : allow) {
@@ -53,6 +57,12 @@ struct LayerManifest {
   bool is_universal(const std::string& layer) const {
     for (const auto& u : universal) {
       if (u == layer) return true;
+    }
+    return false;
+  }
+  bool is_hot_path(const std::string& include_key) const {
+    for (const auto& h : hot_path) {
+      if (h == include_key) return true;
     }
     return false;
   }
@@ -78,5 +88,7 @@ void run_units_rules(const Model& model, std::vector<Finding>* out);
 void run_scheduling_rules(const Model& model, std::vector<Finding>* out);
 void run_layering_rules(const Model& model, const LayerManifest& manifest,
                         std::vector<Finding>* out);
+void run_perf_rules(const Model& model, const LayerManifest& manifest,
+                    std::vector<Finding>* out);
 
 }  // namespace quicsteps::analyze

@@ -1,0 +1,66 @@
+// Hot-path allocation hygiene.
+//
+// The batched datapath's whole point is that the per-packet path performs
+// no allocation in steady state: packets live in the slab
+// (net/packet_slab.hpp), hops ride drain records
+// (sim::EventLoop::schedule_drain_at), and every container grows only to
+// its high-water mark. Files carrying that guarantee are tagged under
+// "hot_path" in tools/analyze/layers.json; this rule flags the patterns
+// that silently reintroduce per-packet cost there:
+//   * operator new / std::make_unique / std::make_shared — a heap
+//     allocation per call;
+//   * push_back / emplace_back — container growth (fine when amortized to
+//     a recycled high-water mark, which is what the baseline records);
+//   * schedule_at / schedule_after — constructs a std::function closure
+//     per event; per-packet hops should use a drain channel.
+// Deliberate sites (free-list growth, the legacy A/B datapath) are
+// baselined in tools/analyze/baseline.txt with their rationale.
+#include "rule.hpp"
+
+namespace quicsteps::analyze {
+
+void run_perf_rules(const Model& model, const LayerManifest& manifest,
+                    std::vector<Finding>* out) {
+  for (const auto& f : model.files) {
+    if (f.include_key.empty() || !manifest.is_hot_path(f.include_key)) {
+      continue;
+    }
+    const auto& toks = f.lex.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+      const bool is_call =
+          i + 1 < toks.size() &&
+          (toks[i + 1].is_punct("(") || toks[i + 1].is_punct("<"));
+      std::string message;
+      if (t.text == "new") {
+        message =
+            "'new' in a hot-path file allocates per call; store packets in "
+            "the slab or preallocated state";
+      } else if ((t.text == "make_unique" || t.text == "make_shared") &&
+                 is_call) {
+        message = "'" + t.text +
+                  "' in a hot-path file allocates per call; store packets "
+                  "in the slab or preallocated state";
+      } else if ((t.text == "push_back" || t.text == "emplace_back") &&
+                 is_call) {
+        message = "'" + t.text +
+                  "' in a hot-path file grows a container; growth must "
+                  "amortize to a recycled high-water mark (baseline with "
+                  "the rationale if it does)";
+      } else if ((t.text == "schedule_at" || t.text == "schedule_after") &&
+                 is_call) {
+        message = "'" + t.text +
+                  "' in a hot-path file constructs a std::function per "
+                  "event; per-packet hops should ride a drain channel "
+                  "(register_drain/schedule_drain_at)";
+      } else {
+        continue;
+      }
+      out->push_back({"perf/hot-path-alloc", f.rel_path, t.line, t.col,
+                      std::move(message), false});
+    }
+  }
+}
+
+}  // namespace quicsteps::analyze

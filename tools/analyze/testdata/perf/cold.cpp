@@ -1,0 +1,8 @@
+// Perf fixture (cold): the same patterns as hot.cpp, but this file is NOT
+// tagged hot_path — the rule must stay silent here.
+void cold() {
+  auto* p = new Packet();
+  auto u = std::make_unique<Packet>();
+  queue.push_back(p);
+  loop.schedule_at(t, cb);
+}

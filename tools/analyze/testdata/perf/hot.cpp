@@ -1,0 +1,11 @@
+// Perf fixture (hot): tagged under "hot_path" in the sibling layers.json,
+// so every pattern below must be flagged on its pinned line.
+void hot() {
+  auto* p = new Packet();
+  auto u = std::make_unique<Packet>();
+  auto s = std::make_shared<Packet>();
+  queue.push_back(p);
+  queue.emplace_back();
+  loop.schedule_at(t, cb);
+  loop.schedule_after(d, cb);
+}
