@@ -96,6 +96,10 @@ class QuicEndpoint final : public FlowEndpoint {
 
   bool complete() const override { return client_->complete(); }
 
+  void enable_batched(net::PacketSlab* slab) override {
+    if (stack_ != nullptr && slab != nullptr) stack_->enable_batched(slab);
+  }
+
   void set_trace(obs::TraceBus& bus, const std::string& prefix) override {
     const std::uint16_t id = bus.register_component(prefix + "stack");
     if (stack_ != nullptr) {

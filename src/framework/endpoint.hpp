@@ -17,6 +17,7 @@
 #include "framework/experiment.hpp"
 #include "kernel/os_model.hpp"
 #include "net/packet.hpp"
+#include "net/packet_slab.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 
@@ -45,6 +46,11 @@ class FlowEndpoint {
     (void)bus;
     (void)prefix;
   }
+
+  /// Joins the shared packet slab (batched datapath): the stack's socket
+  /// recycles GSO segment buffers through the slab's pool. Default: the
+  /// endpoint has no socket to wire (ideal server, TCP baseline).
+  virtual void enable_batched(net::PacketSlab* slab) { (void)slab; }
 
   /// Endpoint-side result fields: completion, sender stats, goodput.
   /// Wire-derived fields (gaps, trains, precision, hash, drops) come from

@@ -38,6 +38,7 @@ SenderHost::SenderHost(sim::EventLoop& loop, const FlowSpec& spec,
   endpoint_ =
       make_flow_endpoint(loop, *os_, spec_.config, flow_id_, seed,
                          path_.egress(), path.ack_ingress(), live_result);
+  endpoint_->enable_batched(path.slab());
   // Duplicate flow ids trip the flow table's registration audit.
   path.register_flow(flow_id_, &endpoint_->data_ingress(),
                      &endpoint_->ack_ingress());

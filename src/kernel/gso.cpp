@@ -17,24 +17,25 @@ const char* to_string(GsoMode mode) {
   return "?";
 }
 
-net::Packet make_gso_buffer(std::vector<net::Packet> segments,
+net::Packet make_gso_buffer(std::shared_ptr<std::vector<net::Packet>> segments,
                             std::uint64_t buffer_id,
                             net::DataRate gso_pacing_rate) {
+  std::vector<net::Packet>& segs = *segments;
   net::Packet carrier;
-  carrier.flow = segments.front().flow;
-  carrier.kind = segments.front().kind;
-  carrier.id = segments.front().id;
-  carrier.packet_number = segments.front().packet_number;
-  carrier.has_txtime = segments.front().has_txtime;
-  carrier.txtime = segments.front().txtime;
-  carrier.expected_send_time = segments.front().expected_send_time;
+  carrier.flow = segs.front().flow;
+  carrier.kind = segs.front().kind;
+  carrier.id = segs.front().id;
+  carrier.packet_number = segs.front().packet_number;
+  carrier.has_txtime = segs.front().has_txtime;
+  carrier.txtime = segs.front().txtime;
+  carrier.expected_send_time = segs.front().expected_send_time;
   carrier.gso_buffer_id = buffer_id;
-  carrier.gso_segment_count = static_cast<std::uint32_t>(segments.size());
+  carrier.gso_segment_count = static_cast<std::uint32_t>(segs.size());
   carrier.gso_pacing_rate = gso_pacing_rate;
 
   std::int64_t total = 0;
   std::uint32_t index = 0;
-  for (auto& seg : segments) {
+  for (auto& seg : segs) {
     total += seg.size_bytes;
     seg.gso_buffer_id = buffer_id;
     seg.gso_segment_index = index++;
@@ -42,8 +43,7 @@ net::Packet make_gso_buffer(std::vector<net::Packet> segments,
     seg.gso_pacing_rate = gso_pacing_rate;
   }
   carrier.size_bytes = total;
-  carrier.gso_segments =
-      std::make_shared<const std::vector<net::Packet>>(std::move(segments));
+  carrier.gso_segments = std::move(segments);
   return carrier;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -23,10 +24,12 @@ enum class GsoMode : std::uint8_t { kOff, kOn, kPaced };
 const char* to_string(GsoMode mode);
 
 /// Builds the super-packet the kernel sees for one GSO sendmsg. `segments`
-/// must be non-empty; their sizes are summed for the carrier. The carrier
-/// inherits the txtime of the FIRST segment (a real GSO buffer carries one
-/// SCM_TXTIME for the whole call).
-net::Packet make_gso_buffer(std::vector<net::Packet> segments,
+/// must be non-null and non-empty; their sizes are summed for the carrier.
+/// The carrier inherits the txtime of the FIRST segment (a real GSO buffer
+/// carries one SCM_TXTIME for the whole call). The caller owns the buffer's
+/// lifetime: UdpSocket recycles buffers through a pool so the steady-state
+/// send path performs no allocation here.
+net::Packet make_gso_buffer(std::shared_ptr<std::vector<net::Packet>> segments,
                             std::uint64_t buffer_id,
                             net::DataRate gso_pacing_rate);
 

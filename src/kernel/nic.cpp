@@ -1,5 +1,6 @@
 #include "kernel/nic.hpp"
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -31,6 +32,11 @@ void Nic::deliver(net::Packet pkt) {
           release += pkt.gso_pacing_rate.transmit_time(seg_bytes);
         }
       }
+      // The buffer is spent; hand the husk (and its capacity) back to the
+      // slab pool so the next sendmsg_gso reuses it instead of allocating.
+      segments.clear();
+      slab_->put_gso_buffer(std::const_pointer_cast<std::vector<net::Packet>>(
+          std::move(pkt.gso_segments)));
       return;
     }
     const auto& segments = *pkt.gso_segments;

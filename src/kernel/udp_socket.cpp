@@ -20,8 +20,16 @@ sim::Duration UdpSocket::sendmsg(net::Packet pkt) {
 sim::Duration UdpSocket::sendmsg_gso(std::vector<net::Packet> segments,
                                      net::DataRate gso_pacing_rate) {
   ++syscalls_;
+  // Draw a recycled buffer from the slab pool (the NIC returns husks once
+  // it has segmented them); only the first bursts of a run allocate.
+  std::shared_ptr<std::vector<net::Packet>> buffer =
+      slab_ != nullptr ? slab_->take_gso_buffer() : nullptr;
+  if (buffer == nullptr) {
+    buffer = std::make_shared<std::vector<net::Packet>>();
+  }
+  *buffer = std::move(segments);
   net::Packet carrier =
-      make_gso_buffer(std::move(segments), next_gso_id_++, gso_pacing_rate);
+      make_gso_buffer(std::move(buffer), next_gso_id_++, gso_pacing_rate);
   inject(std::move(carrier));
   // One syscall regardless of segment count — this is GSO's CPU win.
   return os_.draw_syscall_cost();

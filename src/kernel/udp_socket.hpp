@@ -47,6 +47,10 @@ class UdpSocket : public obs::TraceSource {
 
   void set_egress(net::PacketSink* egress) { egress_ = egress; }
 
+  /// Joins the shared slab: GSO segment buffers recycle through its pool
+  /// instead of being allocated per sendmsg_gso call.
+  void enable_batched(net::PacketSlab* slab) { slab_ = slab; }
+
   const net::Counters& counters() const { return counters_; }
   std::uint64_t gso_buffers_sent() const { return next_gso_id_ - 1; }
   std::uint64_t syscalls() const { return syscalls_; }
@@ -57,6 +61,7 @@ class UdpSocket : public obs::TraceSource {
   sim::EventLoop& loop_;
   OsModel& os_;
   net::PacketSink* egress_;
+  net::PacketSlab* slab_ = nullptr;
   net::Counters counters_;
   std::uint64_t next_gso_id_ = 1;
   std::uint64_t syscalls_ = 0;

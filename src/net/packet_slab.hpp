@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -97,6 +98,26 @@ class PacketSlab {
   /// Slots ever allocated (the in-flight high-water mark).
   std::size_t capacity() const { return packets_.size(); }
 
+  /// GSO buffer recycling. The socket draws a spent segment buffer here
+  /// (null when none is free — it then allocates one, once), and the NIC
+  /// returns the husk after moving the segments out at the driver
+  /// boundary. Nothing holds a pool reference while a buffer is in
+  /// flight, so the NIC's unique-ownership fast path (use_count() == 1)
+  /// still fires; control block and vector capacity both amortize to the
+  /// in-flight high-water mark of GSO bursts.
+  std::shared_ptr<std::vector<Packet>> take_gso_buffer() {
+    if (gso_buffers_.empty()) return nullptr;
+    std::shared_ptr<std::vector<Packet>> buf =
+        std::move(gso_buffers_.back());
+    gso_buffers_.pop_back();
+    return buf;
+  }
+  void put_gso_buffer(std::shared_ptr<std::vector<Packet>> buf) {
+    gso_buffers_.push_back(std::move(buf));
+  }
+  /// Buffers resting in the pool (test hook).
+  std::size_t gso_buffers_pooled() const { return gso_buffers_.size(); }
+
  private:
   /// One 8-byte entry per slot: the generation check and the byte size the
   /// token loop reads share a cache line access.
@@ -108,6 +129,7 @@ class PacketSlab {
   std::vector<Packet> packets_;  // cold lane
   std::vector<HotLane> hot_;
   std::vector<std::uint32_t> free_;
+  std::vector<std::shared_ptr<std::vector<Packet>>> gso_buffers_;
   std::size_t live_ = 0;
 };
 

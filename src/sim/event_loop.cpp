@@ -40,18 +40,22 @@ bool EventHandle::pending() const {
 
 EventLoop::EventLoop() : wheel_(kBuckets) {}
 
+std::uint32_t EventLoop::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].payload;
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return slot;
+}
+
 EventHandle EventLoop::schedule_at(Time at, EventClass cls,
                                    std::function<void()> fn) {
   if (at < now_) at = now_;
 
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
+  const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
   s.fn = std::move(fn);
   s.live = true;
@@ -91,14 +95,7 @@ EventHandle EventLoop::schedule_drain_at(Time at, DrainId ch,
   if (at < now_) at = now_;
   QUICSTEPS_AUDIT(ch < drains_.size(), "drain channel not registered");
 
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
+  const std::uint32_t slot = acquire_slot();
   // Recycled slots come back with fn already null (run_one moves it out,
   // cancel_slot clears it), so a drain record touches no std::function.
   Slot& s = slots_[slot];

@@ -192,13 +192,16 @@ class EventLoop {
   /// time the slot's event runs or is cancelled, invalidating old handles.
   /// Drain records use a slot too (for the shared liveness/cancellation
   /// machinery) but leave `fn` null and carry their payload here instead —
-  /// scheduling one never constructs a std::function.
+  /// scheduling one never constructs a std::function. The free list is
+  /// intrusive: a released slot's `payload` field (dead while free) links
+  /// to the next free slot, so recycling needs no side vector at all.
   struct Slot {
     std::function<void()> fn;
     std::uint32_t payload = 0;
     std::uint32_t gen = 0;
     bool live = false;
   };
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
   /// 24-byte POD queue record. A record whose slot is no longer live is a
   /// tombstone and is dropped when it surfaces. The event-class tag lives
@@ -253,7 +256,12 @@ class EventLoop {
   /// Marks a slot's event as done (executed or cancelled): handles go inert.
   void deactivate_slot(std::uint32_t slot);
   /// Returns a slot whose queue record is gone to the free list.
-  void release_slot(std::uint32_t slot) { free_slots_.push_back(slot); }
+  void release_slot(std::uint32_t slot) {
+    slots_[slot].payload = free_head_;
+    free_head_ = slot;
+  }
+  /// Pops a free slot, growing storage only past the high-water mark.
+  std::uint32_t acquire_slot();
 
   void set_bit(std::uint64_t idx) {
     occupied_[(idx & kMask) >> 6] |= std::uint64_t{1} << (idx & 63);
@@ -289,7 +297,7 @@ class EventLoop {
 
   std::vector<Slot> slots_;
   std::vector<DrainChannel> drains_;
-  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t free_head_ = kNoSlot;  // intrusive free list through payload
   std::vector<std::vector<Rec>> wheel_;
   std::array<std::uint64_t, kBuckets / 64> occupied_{};
   std::vector<Rec> overflow_;  // min-heap on rec_after

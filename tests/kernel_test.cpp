@@ -2,6 +2,10 @@
 // buffer construction, NIC expansion/LaunchTime, and the UDP socket.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "kernel/gso.hpp"
 #include "kernel/nic.hpp"
 #include "kernel/os_model.hpp"
@@ -26,6 +30,12 @@ Packet make_packet(std::uint64_t id, std::int64_t size = 1500) {
   p.id = id;
   p.size_bytes = size;
   return p;
+}
+
+/// make_gso_buffer takes the shared buffer the socket pools; tests build
+/// one directly.
+std::shared_ptr<std::vector<Packet>> share(std::vector<Packet> segs) {
+  return std::make_shared<std::vector<Packet>>(std::move(segs));
 }
 
 OsTimingConfig quiet_os() {
@@ -89,7 +99,7 @@ TEST(TimerService, CancelWorks) {
 TEST(Gso, BufferAggregatesSizesAndIndexesSegments) {
   std::vector<Packet> segs;
   for (int i = 0; i < 4; ++i) segs.push_back(make_packet(i, 1200));
-  Packet carrier = make_gso_buffer(std::move(segs), 7,
+  Packet carrier = make_gso_buffer(share(std::move(segs)), 7,
                                    DataRate::megabits_per_second(40));
   EXPECT_EQ(carrier.size_bytes, 4800);
   EXPECT_EQ(carrier.gso_segment_count, 4u);
@@ -105,7 +115,7 @@ TEST(Gso, CarrierInheritsFirstSegmentTxtime) {
   std::vector<Packet> segs{make_packet(1), make_packet(2)};
   segs[0].has_txtime = true;
   segs[0].txtime = Time::zero() + 9_ms;
-  Packet carrier = make_gso_buffer(std::move(segs), 1, DataRate::zero());
+  Packet carrier = make_gso_buffer(share(std::move(segs)), 1, DataRate::zero());
   EXPECT_TRUE(carrier.has_txtime);
   EXPECT_EQ(carrier.txtime, Time::zero() + 9_ms);
 }
@@ -135,7 +145,7 @@ TEST_F(NicTest, StockGsoExpandsBackToBack) {
   nic.set_downstream(&tap);
   std::vector<Packet> segs;
   for (int i = 0; i < 8; ++i) segs.push_back(make_packet(i, 1500));
-  nic.deliver(make_gso_buffer(std::move(segs), 1, DataRate::zero()));
+  nic.deliver(make_gso_buffer(share(std::move(segs)), 1, DataRate::zero()));
   loop.run();
   ASSERT_EQ(tap.capture().size(), 8u);
   for (std::size_t i = 1; i < 8; ++i) {
@@ -153,7 +163,7 @@ TEST_F(NicTest, PacedGsoSpreadsSegments) {
   for (int i = 0; i < 8; ++i) segs.push_back(make_packet(i, 1500));
   // Paced-GSO patch: 40 Mbit/s pacing rate -> 300 us between segments.
   nic.deliver(
-      make_gso_buffer(std::move(segs), 1, DataRate::megabits_per_second(40)));
+      make_gso_buffer(share(std::move(segs)), 1, DataRate::megabits_per_second(40)));
   loop.run();
   ASSERT_EQ(tap.capture().size(), 8u);
   for (std::size_t i = 1; i < 8; ++i) {

@@ -6,6 +6,10 @@
 #include <sstream>
 
 #include "baseline.hpp"
+#include "cache.hpp"
+#include "callgraph.hpp"
+#include "dataflow.hpp"
+#include "symbols.hpp"
 
 namespace quicsteps::analyze {
 
@@ -37,44 +41,112 @@ AnalysisResult run_analysis(const Options& options) {
   const std::string include_base =
       options.include_base.empty() ? root + "/src" : options.include_base;
   std::vector<std::string> paths = options.paths;
-  if (paths.empty()) paths.push_back(root + "/src");
+  if (paths.empty()) {
+    paths.push_back(root + "/src");
+    // Self-hosting: the analyzer's own sources are part of the default
+    // scan (fixture trees under testdata/ are skipped by build_model).
+    const std::string self = root + "/tools/analyze";
+    if (std::filesystem::exists(self)) paths.push_back(self);
+  }
 
+  TokenCache cache(options.cache_dir);
   Model model;
-  if (!build_model(paths, root, include_base, &model, &result.error)) {
+  if (!build_model(paths, root, include_base, &model, &result.error,
+                   &cache)) {
     return result;
   }
   result.files_scanned = model.files.size();
+  result.files_from_cache = cache.hits();
 
   std::vector<Finding> findings;
-  // The manifest feeds two families: layering (the DAG) and perf (the
-  // hot_path file tags). "-" skips both — fixture trees without a real
-  // layer stack opt out of manifest-driven rules entirely.
+  // The manifest feeds three families: layering (the DAG), perf (the
+  // hot_path tags), and concurrency (the parallel_entries roots). "-"
+  // skips all three — fixture trees without a real layer stack opt out of
+  // manifest-driven rules entirely.
   const bool want_layering = family_enabled(options, "layering");
   const bool want_perf = family_enabled(options, "perf");
-  if (want_layering || want_perf) {
+  const bool want_concurrency = family_enabled(options, "concurrency");
+  const bool want_determinism = family_enabled(options, "determinism");
+  LayerManifest manifest;
+  std::string manifest_text;
+  bool have_manifest = false;
+  if (want_layering || want_perf || want_concurrency) {
     std::string layers_path = options.layers_file.empty()
                                   ? root + "/tools/analyze/layers.json"
                                   : options.layers_file;
     if (layers_path != "-") {
-      std::string json_text;
-      if (!read_file(layers_path, &json_text)) {
+      if (!read_file(layers_path, &manifest_text)) {
         result.error = "cannot read layer manifest " + layers_path;
         return result;
       }
-      LayerManifest manifest;
-      if (!load_layer_manifest(json_text, &manifest, &result.error)) {
+      if (!load_layer_manifest(manifest_text, &manifest, &result.error)) {
         return result;
       }
-      if (want_layering) run_layering_rules(model, manifest, &findings);
-      if (want_perf) run_perf_rules(model, manifest, &findings);
+      have_manifest = true;
     }
   }
-  if (family_enabled(options, "units")) run_units_rules(model, &findings);
-  if (family_enabled(options, "determinism")) {
-    run_determinism_rules(model, &findings);
+
+  // Whole-analysis result cache: the key pins everything the raw finding
+  // set depends on — the manifest TEXT (not its path), the rule-family
+  // selection, and every scanned file's (rel_path, content hash) in
+  // report order. The baseline is applied after replay, so it is
+  // deliberately absent from the key.
+  ResultCache result_cache(options.cache_dir);
+  std::uint64_t result_key = 0;
+  if (result_cache.enabled()) {
+    KeyHasher k;
+    k.mix_u64(1);  // result-key schema version
+    k.mix(include_base);
+    k.mix(manifest_text);
+    k.mix_u64(options.rule_families.size());
+    for (const auto& fam : options.rule_families) k.mix(fam);
+    k.mix_u64(model.files.size());
+    for (const SourceFile& f : model.files) {
+      k.mix(f.rel_path);
+      k.mix_u64(f.content_hash);
+    }
+    result_key = k.value();
   }
-  if (family_enabled(options, "scheduling")) {
-    run_scheduling_rules(model, &findings);
+
+  const bool replayed =
+      result_cache.enabled() && result_cache.load(result_key, &findings);
+  result.findings_from_cache = replayed;
+  if (!replayed) {
+    if (want_layering && have_manifest) {
+      run_layering_rules(model, manifest, &findings);
+    }
+
+    // The semantic families share one model: symbol index, call graph
+    // (hot tags need the manifest), dataflow skeleton.
+    SymbolIndex index;
+    CallGraph graph;
+    Dataflow flow;
+    SemanticModel sem;
+    const bool want_semantic = (want_perf && have_manifest) ||
+                               (want_concurrency && have_manifest) ||
+                               want_determinism;
+    if (want_semantic) {
+      index = build_symbol_index(model);
+      graph =
+          build_call_graph(model, index, have_manifest ? &manifest : nullptr);
+      flow = build_dataflow(model, index);
+      sem = {&index, &graph, &flow};
+    }
+    if (want_perf && have_manifest) {
+      run_perf_rules(model, manifest, sem, &findings);
+    }
+    if (want_concurrency && have_manifest) {
+      run_concurrency_rules(model, manifest, sem, &findings);
+    }
+    if (family_enabled(options, "units")) run_units_rules(model, &findings);
+    if (want_determinism) {
+      run_determinism_rules(model, &findings);
+      run_taint_rules(model, sem, &findings);
+    }
+    if (family_enabled(options, "scheduling")) {
+      run_scheduling_rules(model, &findings);
+    }
+    if (result_cache.enabled()) result_cache.store(result_key, findings);
   }
   for (const auto& rule : all_rules()) {
     if (family_enabled(options, rule_family(rule.id).c_str())) {
@@ -108,6 +180,23 @@ AnalysisResult run_analysis(const Options& options) {
     }
   }
   result.unused_baseline_entries = baseline.unused();
+
+  if (options.fix_baseline && !result.unused_baseline_entries.empty()) {
+    for (const auto& path : baseline_files) {
+      std::string fixed;
+      if (!baseline.rewritten(path, &fixed)) continue;
+      std::string current;
+      read_file(path, &current);
+      if (fixed == current) continue;  // this file held no stale entries
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        result.error = "--fix-baseline: cannot rewrite " + path;
+        return result;
+      }
+      out << fixed;
+      result.rewritten_baselines.push_back(path);
+    }
+  }
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -13,14 +13,20 @@ namespace quicsteps::analyze {
 struct Options {
   std::string root;                        // anchors reported paths
   std::vector<std::string> paths;          // files/dirs; default: root/src
+                                           // plus root/tools/analyze (the
+                                           // analyzer self-hosts)
   std::string include_base;                // default: root/src
   std::string layers_file;                 // default:
                                            // root/tools/analyze/layers.json;
-                                           // "-" disables layering rules
+                                           // "-" disables manifest rules
   std::vector<std::string> baseline_files; // default:
                                            // root/tools/analyze/baseline.txt
                                            // (if it exists)
   std::vector<std::string> rule_families;  // empty = all families
+  std::string cache_dir;                   // token + result caches; empty =
+                                           // disabled
+  bool fix_baseline = false;               // rewrite baselines, dropping
+                                           // stale entries
 };
 
 struct AnalysisResult {
@@ -28,7 +34,13 @@ struct AnalysisResult {
   /// (file, line, col, rule_id) — the order every reporter uses.
   std::vector<Finding> findings;
   std::vector<std::string> unused_baseline_entries;
+  /// Baseline files rewritten by --fix-baseline (stale entries dropped).
+  std::vector<std::string> rewritten_baselines;
   std::size_t files_scanned = 0;
+  std::size_t files_from_cache = 0;  // of files_scanned, token-cache hits
+  /// True when the whole finding set was replayed from the result cache
+  /// (semantic build and all rules skipped).
+  bool findings_from_cache = false;
   std::size_t rules_run = 0;
   std::size_t active_count = 0;     // findings not baselined
   std::size_t baselined_count = 0;

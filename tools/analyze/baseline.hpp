@@ -31,6 +31,13 @@ class Baseline {
   /// Entries that never matched a finding (stale — candidates to delete).
   std::vector<std::string> unused() const;
 
+  /// --fix-baseline: the content of `source_name` with stale entry lines
+  /// removed. Comment-only and blank lines survive verbatim, as do the
+  /// inline rationale comments of kept entries; a dropped entry takes its
+  /// whole line (inline comment included) with it. Returns false when the
+  /// source was never loaded.
+  bool rewritten(const std::string& source_name, std::string* out) const;
+
   std::size_t size() const { return entries_.size(); }
 
  private:
@@ -39,7 +46,13 @@ class Baseline {
     std::string rule_id;
     bool used = false;
   };
+  struct Line {
+    std::string raw;
+    std::size_t entry = static_cast<std::size_t>(-1);  // into entries_
+  };
   std::vector<Entry> entries_;
+  /// source_name -> original lines, each tagged with the entry it defines.
+  std::vector<std::pair<std::string, std::vector<Line>>> sources_;
 };
 
 }  // namespace quicsteps::analyze

@@ -1,0 +1,330 @@
+#include "cache.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lexer.hpp"
+
+namespace quicsteps::analyze {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'S', 'L', 'X'};
+constexpr std::uint32_t kVersion = 1;
+
+constexpr char kResultMagic[4] = {'Q', 'S', 'R', 'C'};
+constexpr std::uint32_t kResultVersion = 1;
+
+void put_u8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void put_str(std::string* out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked sequential reader; any overrun flips ok to false and
+/// every later read returns zero values, so a truncated entry can never
+/// produce partial tokens.
+struct Reader {
+  const std::string& buf;
+  std::size_t at = 0;
+  bool ok = true;
+
+  bool take(void* dst, std::size_t n) {
+    if (!ok || at + n > buf.size()) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(dst, buf.data() + at, n);
+    at += n;
+    return true;
+  }
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    take(&v, 1);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    take(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    take(&v, 8);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok || at + n > buf.size()) {
+      ok = false;
+      return {};
+    }
+    std::string s(buf, at, n);
+    at += n;
+    return s;
+  }
+};
+
+std::string serialize(std::uint64_t hash, const LexResult& lex) {
+  std::string out;
+  out.append(kMagic, 4);
+  put_u32(&out, kVersion);
+  put_u64(&out, hash);
+  put_u8(&out, lex.has_pragma_once ? 1 : 0);
+  put_u64(&out, lex.tokens.size());
+  for (const Token& t : lex.tokens) {
+    put_u8(&out, static_cast<std::uint8_t>(t.kind));
+    put_u8(&out, static_cast<std::uint8_t>((t.in_pp ? 1 : 0) |
+                                           (t.angle_include ? 2 : 0)));
+    put_u32(&out, static_cast<std::uint32_t>(t.line));
+    put_u32(&out, static_cast<std::uint32_t>(t.col));
+    put_str(&out, t.text);
+  }
+  put_u64(&out, lex.includes.size());
+  for (const IncludeDirective& inc : lex.includes) {
+    put_u8(&out, inc.angle ? 1 : 0);
+    put_u32(&out, static_cast<std::uint32_t>(inc.line));
+    put_str(&out, inc.path);
+  }
+  return out;
+}
+
+bool deserialize(const std::string& buf, std::uint64_t expect_hash,
+                 LexResult* out) {
+  Reader r{buf};
+  char magic[4];
+  if (!r.take(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) return false;
+  if (r.u32() != kVersion || r.u64() != expect_hash) return false;
+  out->has_pragma_once = r.u8() != 0;
+  const std::uint64_t ntok = r.u64();
+  if (!r.ok || ntok > buf.size()) return false;  // implausible count
+  out->tokens.reserve(ntok);
+  for (std::uint64_t i = 0; i < ntok && r.ok; ++i) {
+    Token t;
+    t.kind = static_cast<TokKind>(r.u8());
+    const std::uint8_t flags = r.u8();
+    t.in_pp = (flags & 1) != 0;
+    t.angle_include = (flags & 2) != 0;
+    t.line = static_cast<int>(r.u32());
+    t.col = static_cast<int>(r.u32());
+    t.text = r.str();
+    out->tokens.push_back(std::move(t));
+  }
+  const std::uint64_t ninc = r.u64();
+  if (!r.ok || ninc > buf.size()) return false;
+  out->includes.reserve(ninc);
+  for (std::uint64_t i = 0; i < ninc && r.ok; ++i) {
+    IncludeDirective inc;
+    inc.angle = r.u8() != 0;
+    inc.line = static_cast<int>(r.u32());
+    inc.path = r.str();
+    out->includes.push_back(std::move(inc));
+  }
+  return r.ok && r.at == buf.size();
+}
+
+std::string serialize_findings(std::uint64_t key,
+                               const std::vector<Finding>& findings) {
+  std::string out;
+  out.append(kResultMagic, 4);
+  put_u32(&out, kResultVersion);
+  put_u64(&out, key);
+  put_u64(&out, findings.size());
+  for (const Finding& f : findings) {
+    put_str(&out, f.rule_id);
+    put_str(&out, f.file);
+    put_u32(&out, static_cast<std::uint32_t>(f.line));
+    put_u32(&out, static_cast<std::uint32_t>(f.col));
+    put_str(&out, f.message);
+    // baselined is deliberately NOT stored: the baseline is re-applied on
+    // every run, so a cached entry stays valid across baseline.txt edits.
+    put_u64(&out, f.fixits.size());
+    for (const FixIt& fix : f.fixits) {
+      put_str(&out, fix.description);
+      put_u32(&out, static_cast<std::uint32_t>(fix.line));
+      put_u32(&out, static_cast<std::uint32_t>(fix.col));
+      put_u32(&out, static_cast<std::uint32_t>(fix.end_line));
+      put_u32(&out, static_cast<std::uint32_t>(fix.end_col));
+      put_str(&out, fix.replacement);
+    }
+  }
+  return out;
+}
+
+bool deserialize_findings(const std::string& buf, std::uint64_t expect_key,
+                          std::vector<Finding>* out) {
+  Reader r{buf};
+  char magic[4];
+  if (!r.take(magic, 4) || std::memcmp(magic, kResultMagic, 4) != 0) {
+    return false;
+  }
+  if (r.u32() != kResultVersion || r.u64() != expect_key) return false;
+  const std::uint64_t n = r.u64();
+  if (!r.ok || n > buf.size()) return false;  // implausible count
+  std::vector<Finding> findings;
+  findings.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok; ++i) {
+    Finding f;
+    f.rule_id = r.str();
+    f.file = r.str();
+    f.line = static_cast<int>(r.u32());
+    f.col = static_cast<int>(r.u32());
+    f.message = r.str();
+    f.baselined = false;
+    const std::uint64_t nfix = r.u64();
+    if (!r.ok || nfix > buf.size()) return false;
+    f.fixits.reserve(nfix);
+    for (std::uint64_t j = 0; j < nfix && r.ok; ++j) {
+      FixIt fix;
+      fix.description = r.str();
+      fix.line = static_cast<int>(r.u32());
+      fix.col = static_cast<int>(r.u32());
+      fix.end_line = static_cast<int>(r.u32());
+      fix.end_col = static_cast<int>(r.u32());
+      fix.replacement = r.str();
+      f.fixits.push_back(std::move(fix));
+    }
+    findings.push_back(std::move(f));
+  }
+  if (!r.ok || r.at != buf.size()) return false;
+  *out = std::move(findings);
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t content_hash(const std::string& content) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : content) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void KeyHasher::mix_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= static_cast<std::uint8_t>(v >> (i * 8));
+    h_ *= 0x100000001b3ULL;
+  }
+}
+
+void KeyHasher::mix(const std::string& s) {
+  mix_u64(s.size());
+  for (const char c : s) {
+    h_ ^= static_cast<std::uint8_t>(c);
+    h_ *= 0x100000001b3ULL;
+  }
+}
+
+std::string TokenCache::entry_path(std::uint64_t hash) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.lex",
+                static_cast<unsigned long long>(hash));
+  return dir_ + "/" + name;
+}
+
+bool TokenCache::load(const std::string& path, std::uint64_t hash,
+                      LexResult* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize(buf.str(), hash, out);
+}
+
+void TokenCache::store(const std::string& path, std::uint64_t hash,
+                       const LexResult& lex) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // unwritable cache is a slow run, not an error
+    const std::string blob = serialize(hash, lex);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+LexResult TokenCache::lex_cached(const std::string& content) {
+  if (dir_.empty()) {
+    ++misses_;
+    return lex(content);
+  }
+  const std::uint64_t hash = content_hash(content);
+  const std::string path = entry_path(hash);
+  LexResult cached;
+  if (load(path, hash, &cached)) {
+    ++hits_;
+    return cached;
+  }
+  ++misses_;
+  LexResult fresh = lex(content);
+  store(path, hash, fresh);
+  return fresh;
+}
+
+std::string ResultCache::entry_path(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.res",
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+bool ResultCache::load(std::uint64_t key, std::vector<Finding>* out) const {
+  if (dir_.empty()) return false;
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize_findings(buf.str(), key, out);
+}
+
+void ResultCache::store(std::uint64_t key,
+                        const std::vector<Finding>& findings) const {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const std::string path = entry_path(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // unwritable cache is a cold next run, not an error
+    const std::string blob = serialize_findings(key, findings);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+}  // namespace quicsteps::analyze

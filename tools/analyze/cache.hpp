@@ -1,0 +1,98 @@
+// Content-hash-keyed caches (--cache-dir): token cache + result cache.
+//
+// Two layers, both keyed by content, never by path or mtime — a rename or
+// touch never invalidates, an edit always does:
+//
+//   * TokenCache keys each file's BYTES (FNV-1a 64) and stores its token
+//     stream; a warm run skips re-tokenizing but still builds the symbol
+//     index / call graph and runs every rule.
+//   * ResultCache keys the WHOLE analysis — format version, include base,
+//     enabled rule families, layer-manifest text, and the ordered
+//     (rel_path, content hash) list — and stores the raw findings
+//     (fix-its included, pre-baseline). A hit replays them and skips the
+//     semantic build and all rules; any edit to any scanned file, the
+//     manifest, or the rule selection changes the key. The baseline is
+//     applied AFTER replay, so editing baseline.txt never needs a
+//     cold run.
+//
+// Entries are one binary blob per key under the cache directory, written
+// via temp+rename so a crashed run can never leave a torn entry, and
+// carry a format version plus the key inline — a stale or corrupt entry
+// deserializes as a miss, never as wrong output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rule.hpp"
+#include "token.hpp"
+
+namespace quicsteps::analyze {
+
+/// 64-bit FNV-1a over the raw bytes.
+std::uint64_t content_hash(const std::string& content);
+
+/// Incremental FNV-1a 64 for composite cache keys. Each mix() folds in a
+/// length prefix before the bytes so ("ab","c") and ("a","bc") hash
+/// differently.
+class KeyHasher {
+ public:
+  void mix(const std::string& s);
+  void mix_u64(std::uint64_t v);
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+class TokenCache {
+ public:
+  /// `dir` empty disables the cache (every lookup is a miss that is not
+  /// stored). The directory is created on first store.
+  explicit TokenCache(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Returns the LexResult for `content`, from the cache when an entry
+  /// with matching content hash deserializes cleanly, else by lexing (and
+  /// storing the result).
+  LexResult lex_cached(const std::string& content);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  bool enabled() const { return !dir_.empty(); }
+
+ private:
+  std::string entry_path(std::uint64_t hash) const;
+  bool load(const std::string& path, std::uint64_t hash, LexResult* out);
+  void store(const std::string& path, std::uint64_t hash,
+             const LexResult& lex);
+
+  std::string dir_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+class ResultCache {
+ public:
+  /// `dir` empty disables the cache. Shares the token cache's directory;
+  /// entries are `<key>.res` next to the `<hash>.lex` token entries.
+  explicit ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Loads the findings stored under `key`. Returns false (leaving `out`
+  /// untouched) on a miss or a stale/corrupt entry. Replayed findings
+  /// always carry baselined = false — the caller re-applies the baseline.
+  bool load(std::uint64_t key, std::vector<Finding>* out) const;
+
+  /// Stores `findings` under `key` (best effort: an unwritable cache
+  /// directory means the next run is cold, not an error).
+  void store(std::uint64_t key, const std::vector<Finding>& findings) const;
+
+  bool enabled() const { return !dir_.empty(); }
+
+ private:
+  std::string entry_path(std::uint64_t key) const;
+
+  std::string dir_;
+};
+
+}  // namespace quicsteps::analyze

@@ -1,0 +1,189 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace quicsteps::analyze {
+
+namespace {
+
+// By-name resolution stops inventing edges past this many candidate
+// definitions — common method names (size, reset, push) would otherwise
+// connect everything to everything.
+constexpr std::size_t kAmbiguityCap = 8;
+
+bool is_call_keyword(const std::string& s) {
+  static const char* kWords[] = {
+      "if",     "else",  "for",    "while",   "switch",     "do",
+      "return", "sizeof", "alignof", "decltype", "new",     "delete",
+      "case",   "catch", "throw",  "static_cast", "const_cast",
+      "dynamic_cast", "reinterpret_cast", "static_assert", "assert",
+      "defined", "alignas", "noexcept", "typeid",
+  };
+  for (const char* w : kWords) {
+    if (s == w) return true;
+  }
+  return false;
+}
+
+bool match_paren(const std::vector<Token>& toks, std::size_t open,
+                 std::size_t* close) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].in_pp) continue;
+    if (toks[i].is_punct("(")) ++depth;
+    if (toks[i].is_punct(")")) {
+      --depth;
+      if (depth == 0) {
+        *close = i;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void resolve_site(const SymbolIndex& index, CallSite* site) {
+  auto [lo, hi] = index.callables_by_name.equal_range(site->name);
+  std::vector<std::size_t> same_file, elsewhere;
+  for (auto it = lo; it != hi; ++it) {
+    const Symbol& cand = index.symbols[it->second];
+    // A lambda resolves through its bound name only within its own file —
+    // the binding is a local variable.
+    if (cand.kind == Symbol::Kind::kLambda && cand.file != site->file) {
+      continue;
+    }
+    (cand.file == site->file ? same_file : elsewhere).push_back(it->second);
+  }
+  std::vector<std::size_t>& picked =
+      same_file.empty() ? elsewhere : same_file;
+  if (picked.empty() || picked.size() > kAmbiguityCap) return;
+  std::sort(picked.begin(), picked.end());
+  site->callees = picked;
+}
+
+}  // namespace
+
+CallGraph build_call_graph(const Model& model, const SymbolIndex& index,
+                           const LayerManifest* manifest) {
+  CallGraph graph;
+  graph.edges.resize(index.symbols.size());
+  graph.hot.resize(index.symbols.size(), false);
+
+  // Implicit containment edges: enclosing callable -> lambda.
+  for (std::size_t id = 0; id < index.symbols.size(); ++id) {
+    const Symbol& sym = index.symbols[id];
+    if (sym.kind == Symbol::Kind::kLambda && sym.parent != Symbol::npos) {
+      graph.edges[sym.parent].push_back(id);
+    }
+  }
+
+  for (std::size_t f = 0; f < model.files.size(); ++f) {
+    const std::vector<Token>& toks = model.files[f].lex.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.in_pp || t.kind != TokKind::kIdentifier ||
+          is_call_keyword(t.text) || !toks[i + 1].is_punct("(")) {
+        continue;
+      }
+      std::size_t close = 0;
+      if (!match_paren(toks, i + 1, &close)) continue;
+      const std::size_t caller = index.enclosing_callable(f, i);
+      // Skip the definition header itself: `void f(` is not a call to f.
+      if (caller != Symbol::npos) {
+        const Symbol& enclosing = index.symbols[caller];
+        if (enclosing.params_begin == i + 1) continue;
+      }
+      // `Type name(args);` declarations at namespace/class scope also look
+      // like calls, but they have no enclosing callable and resolving them
+      // adds edges from npos, which we drop anyway.
+      CallSite site;
+      site.caller = caller;
+      site.name = t.text;
+      site.file = f;
+      site.tok = i;
+      site.line = t.line;
+      site.col = t.col;
+      site.args_begin = i + 1;
+      site.args_end = close;
+      resolve_site(index, &site);
+      if (caller != Symbol::npos) {
+        for (const std::size_t callee : site.callees) {
+          if (callee != caller) graph.edges[caller].push_back(callee);
+        }
+      }
+      graph.sites.push_back(std::move(site));
+    }
+  }
+
+  for (auto& out : graph.edges) {
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+
+  if (manifest != nullptr) {
+    std::queue<std::size_t> frontier;
+    for (std::size_t id = 0; id < index.symbols.size(); ++id) {
+      const Symbol& sym = index.symbols[id];
+      if (!sym.is_callable()) continue;
+      if (manifest->is_hot_path(model.files[sym.file].include_key)) {
+        graph.hot[id] = true;
+        graph.hot_seeds.push_back(id);
+        frontier.push(id);
+      }
+    }
+    while (!frontier.empty()) {
+      const std::size_t at = frontier.front();
+      frontier.pop();
+      for (const std::size_t next : graph.edges[at]) {
+        if (!graph.hot[next]) {
+          graph.hot[next] = true;
+          frontier.push(next);
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<std::size_t> worker_entries(
+    const SymbolIndex& index, const CallGraph& graph,
+    const std::vector<std::string>& entry_names) {
+  std::vector<std::size_t> entries;
+  const auto named_entry = [&entry_names](const std::string& name) {
+    return std::find(entry_names.begin(), entry_names.end(), name) !=
+           entry_names.end();
+  };
+  // Lambdas handed to an entry call: [..] lexically inside the args.
+  for (const CallSite& site : graph.sites) {
+    if (!named_entry(site.name)) continue;
+    for (std::size_t id = 0; id < index.symbols.size(); ++id) {
+      const Symbol& sym = index.symbols[id];
+      if (sym.kind != Symbol::Kind::kLambda || sym.file != site.file) {
+        continue;
+      }
+      if (sym.cap_begin > site.args_begin && sym.cap_begin < site.args_end) {
+        entries.push_back(id);
+      }
+    }
+  }
+  // Lambdas defined inside the body of the entry function itself (the
+  // pool worker thunk), walking up through nested lambdas.
+  for (std::size_t id = 0; id < index.symbols.size(); ++id) {
+    const Symbol& sym = index.symbols[id];
+    if (sym.kind != Symbol::Kind::kLambda) continue;
+    for (std::size_t up = sym.parent; up != Symbol::npos;
+         up = index.symbols[up].parent) {
+      if (index.symbols[up].kind == Symbol::Kind::kFunction &&
+          named_entry(index.symbols[up].name)) {
+        entries.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  return entries;
+}
+
+}  // namespace quicsteps::analyze

@@ -1,0 +1,65 @@
+// Intraprocedural dataflow skeleton for the quicsteps static analyzer.
+//
+// For every callable in the symbol index this builds a flat def/use model
+// of its locals: parameter and local-variable declarations (with their
+// declared type text), every assignment to each local together with the
+// right-hand-side token range, and every read. Range-for bindings keep a
+// pointer to the range expression so taint rules can follow
+// `for (auto& kv : unordered_map)` from the container into the loop
+// variable. No control-flow sensitivity — defs and uses are in token
+// order, which is all the unordered-taint rule needs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "symbols.hpp"
+
+namespace quicsteps::analyze {
+
+/// One assignment to a local: `x = <rhs>;`, `x += <rhs>;`, `++x`.
+struct Def {
+  std::size_t tok = 0;        // token index of the local's name
+  std::size_t rhs_begin = 0;  // first RHS token; rhs_begin==rhs_end for ++/--
+  std::size_t rhs_end = 0;    // one past the last RHS token
+};
+
+struct Local {
+  std::string name;
+  std::size_t decl_tok = 0;  // token index of the name at the declaration
+  int line = 1;
+  int col = 1;
+  std::string type_text;  // joined declaration tokens before the name
+  bool is_const = false;
+  bool is_param = false;
+  bool is_range_for = false;  // declared in `for (T x : range)`
+  // is_range_for only: token range of the range expression after ':'.
+  std::size_t range_begin = 0;
+  std::size_t range_end = 0;
+  std::vector<Def> defs;          // assignments after the declaration
+  std::vector<std::size_t> uses;  // token indices of reads
+};
+
+/// Def/use model for one callable's body.
+struct CallableDataflow {
+  std::size_t symbol = Symbol::npos;  // into SymbolIndex::symbols
+  std::vector<Local> locals;          // declaration order, params first
+
+  /// First local with this name, or npos (shadowing collapses — fine for
+  /// heuristic taint).
+  std::size_t find(const std::string& name) const;
+};
+
+struct Dataflow {
+  std::vector<CallableDataflow> callables;
+  /// symbol id -> index into `callables`.
+  std::map<std::size_t, std::size_t> by_symbol;
+
+  const CallableDataflow* for_symbol(std::size_t symbol) const;
+};
+
+/// Builds def/use for every callable in the index that has a body.
+Dataflow build_dataflow(const Model& model, const SymbolIndex& index);
+
+}  // namespace quicsteps::analyze

@@ -3,12 +3,15 @@
 // Usage:
 //   quicsteps-analyze [--root DIR] [--include-base DIR] [--layers FILE|-]
 //                     [--baseline FILE]... [--rules fam1,fam2]
-//                     [--sarif FILE] [--list-rules] [PATHS...]
+//                     [--sarif FILE] [--cache-dir DIR] [--fix-baseline]
+//                     [--list-rules] [PATHS...]
 //
-// Defaults: scans <root>/src with <root>/tools/analyze/layers.json and
-// <root>/tools/analyze/baseline.txt. Exit status: 0 clean (baselined
-// findings do not fail the run), 1 unbaselined findings, 2 bad
-// invocation/configuration.
+// Defaults: scans <root>/src and <root>/tools/analyze (self-hosting) with
+// <root>/tools/analyze/layers.json and <root>/tools/analyze/baseline.txt.
+// --cache-dir keys lexed tokens by content hash so unchanged files skip
+// re-tokenizing; --fix-baseline rewrites the baseline file(s) in place,
+// dropping stale entries. Exit status: 0 clean (baselined findings do not
+// fail the run), 1 unbaselined findings, 2 bad invocation/configuration.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -26,7 +29,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--root DIR] [--include-base DIR] [--layers FILE|-]\n"
       "          [--baseline FILE]... [--rules fam1,fam2] [--sarif FILE]\n"
-      "          [--list-rules] [PATHS...]\n",
+      "          [--cache-dir DIR] [--fix-baseline] [--list-rules]\n"
+      "          [PATHS...]\n",
       argv0);
   return 2;
 }
@@ -85,6 +89,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       sarif_path = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.cache_dir = v;
+    } else if (arg == "--fix-baseline") {
+      options.fix_baseline = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -121,9 +131,15 @@ int main(int argc, char** argv) {
              stdout);
   for (const auto& stale : result.unused_baseline_entries) {
     std::fprintf(stderr,
-                 "quicsteps-analyze: stale baseline entry (matched "
-                 "nothing): %s\n",
+                 "quicsteps-analyze: stale baseline entry%s: %s\n",
+                 result.rewritten_baselines.empty()
+                     ? " (matched nothing)"
+                     : " (removed by --fix-baseline)",
                  stale.c_str());
+  }
+  for (const auto& rewritten : result.rewritten_baselines) {
+    std::fprintf(stderr, "quicsteps-analyze: rewrote %s\n",
+                 rewritten.c_str());
   }
 
   if (!sarif_path.empty()) {
@@ -138,8 +154,9 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "%s\n",
                quicsteps::analyze::summary_line(
-                   result.files_scanned, result.rules_run,
-                   result.active_count, result.baselined_count, elapsed_ms)
+                   result.files_scanned, result.files_from_cache,
+                   result.rules_run, result.active_count,
+                   result.baselined_count, elapsed_ms)
                    .c_str());
   return result.active_count > 0 ? 1 : 0;
 }

@@ -13,6 +13,18 @@ std::string text_report(const std::vector<Finding>& findings) {
     out += f.file + ":" + std::to_string(f.line) + ":" +
            std::to_string(f.col) + ": [" + f.rule_id + "] " + f.message +
            "\n";
+    for (const FixIt& fix : f.fixits) {
+      std::string shown;  // keep the report line-oriented
+      for (const char c : fix.replacement) {
+        c == '\n' ? shown += "\\n" : shown += c;
+      }
+      out += f.file + ":" + std::to_string(fix.line) + ":" +
+             std::to_string(fix.col) + ": fix: replace [" +
+             std::to_string(fix.line) + ":" + std::to_string(fix.col) + "-" +
+             std::to_string(fix.end_line) + ":" +
+             std::to_string(fix.end_col) + "] with '" + shown + "' (" +
+             fix.description + ")\n";
+    }
   }
   return out;
 }
@@ -69,6 +81,35 @@ std::string sarif_report(const std::vector<Finding>& findings) {
     out += "              }\n";
     out += "            }\n";
     out += "          ]";
+    if (!f.fixits.empty()) {
+      out += ",\n          \"fixes\": [\n";
+      for (std::size_t j = 0; j < f.fixits.size(); ++j) {
+        const FixIt& fix = f.fixits[j];
+        out += "            {\n";
+        out += "              \"description\": { \"text\": \"" +
+               json_escape(fix.description) + "\" },\n";
+        out += "              \"artifactChanges\": [\n";
+        out += "                {\n";
+        out += "                  \"artifactLocation\": { \"uri\": \"" +
+               json_escape(f.file) + "\" },\n";
+        out += "                  \"replacements\": [\n";
+        out += "                    {\n";
+        out += "                      \"deletedRegion\": { \"startLine\": " +
+               std::to_string(fix.line) +
+               ", \"startColumn\": " + std::to_string(fix.col) +
+               ", \"endLine\": " + std::to_string(fix.end_line) +
+               ", \"endColumn\": " + std::to_string(fix.end_col) + " },\n";
+        out += "                      \"insertedContent\": { \"text\": \"" +
+               json_escape(fix.replacement) + "\" }\n";
+        out += "                    }\n";
+        out += "                  ]\n";
+        out += "                }\n";
+        out += "              ]\n";
+        out += j + 1 < f.fixits.size() ? "            },\n"
+                                       : "            }\n";
+      }
+      out += "          ]";
+    }
     if (f.baselined) {
       out += ",\n          \"suppressions\": [ { \"kind\": \"external\" } ]";
     }
@@ -82,14 +123,14 @@ std::string sarif_report(const std::vector<Finding>& findings) {
   return out;
 }
 
-std::string summary_line(std::size_t files, std::size_t rules,
-                         std::size_t findings, std::size_t baselined,
-                         long long elapsed_ms) {
+std::string summary_line(std::size_t files, std::size_t cached,
+                         std::size_t rules, std::size_t findings,
+                         std::size_t baselined, long long elapsed_ms) {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "quicsteps-analyze: %zu files, %zu rules, %zu finding(s) "
-                "(%zu baselined) in %lld ms",
-                files, rules, findings, baselined, elapsed_ms);
+                "quicsteps-analyze: %zu files (%zu cached), %zu rules, "
+                "%zu finding(s) (%zu baselined) in %lld ms",
+                files, cached, rules, findings, baselined, elapsed_ms);
   return buf;
 }
 

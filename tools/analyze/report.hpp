@@ -10,6 +10,8 @@ namespace quicsteps::analyze {
 
 /// One line per finding, gcc style:
 ///   src/sim/time.cpp:12:9: [units/raw-time-type] message
+/// A finding with fix-it hints gets one indented line per hint:
+///   src/sim/time.cpp:12:9: fix: replace [12:9-12:22] with 'map' (...)
 /// Baselined findings are omitted (they are visible in the SARIF output as
 /// suppressed results and in the summary count).
 std::string text_report(const std::vector<Finding>& findings);
@@ -20,10 +22,12 @@ std::string text_report(const std::vector<Finding>& findings);
 /// same findings in, byte-identical log out (golden-tested).
 std::string sarif_report(const std::vector<Finding>& findings);
 
-/// "N files, R rules, F finding(s) (B baselined) in T ms" — the auditable
-/// one-liner check.sh and CI print.
-std::string summary_line(std::size_t files, std::size_t rules,
-                         std::size_t findings, std::size_t baselined,
-                         long long elapsed_ms);
+/// "N files (C cached), R rules, F finding(s) (B baselined) in T ms" —
+/// the auditable one-liner check.sh and CI print. C is the token-cache
+/// hit count (0 when --cache-dir is off or cold), so CI logs show warm
+/// vs cold wall time side by side.
+std::string summary_line(std::size_t files, std::size_t cached,
+                         std::size_t rules, std::size_t findings,
+                         std::size_t baselined, long long elapsed_ms);
 
 }  // namespace quicsteps::analyze

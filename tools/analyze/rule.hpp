@@ -14,6 +14,20 @@
 
 namespace quicsteps::analyze {
 
+/// Machine-applicable replacement: replace the [line:col, end_line:end_col)
+/// region of the finding's file with `replacement`. A zero-width region
+/// (line==end_line, col==end_col) is an insertion; an empty replacement is
+/// a deletion. Reported as a `fix:` line by the text reporter and as a
+/// SARIF `fixes` entry.
+struct FixIt {
+  std::string description;
+  int line = 1;
+  int col = 1;
+  int end_line = 1;
+  int end_col = 1;
+  std::string replacement;
+};
+
 struct Finding {
   std::string rule_id;
   std::string file;  // rel_path of the file
@@ -21,6 +35,7 @@ struct Finding {
   int col = 1;
   std::string message;
   bool baselined = false;
+  std::vector<FixIt> fixits;
 };
 
 struct RuleInfo {
@@ -45,8 +60,14 @@ struct LayerManifest {
   /// Layers includable from anywhere (the audit spine and the umbrella).
   std::vector<std::string> universal;
   /// Files (by include key, e.g. "kernel/nic.cpp") on the per-packet
-  /// datapath: perf/hot-path-alloc flags allocation there.
+  /// datapath: the perf family seeds hot callables there and
+  /// perf/hot-path-alloc-interproc propagates the tag along call edges.
   std::vector<std::string> hot_path;
+  /// Function names whose lambda arguments (and internal worker thunks)
+  /// run on pool threads; concurrency/parallel-shared-state roots its
+  /// reachability walk here. Defaults to {"parallel_for"} when the
+  /// manifest omits the key.
+  std::vector<std::string> parallel_entries;
 
   bool declared(const std::string& layer) const {
     for (const auto& [name, deps] : allow) {
@@ -81,6 +102,19 @@ struct LayerManifest {
 bool load_layer_manifest(const std::string& json_text, LayerManifest* out,
                          std::string* error);
 
+struct SymbolIndex;
+struct CallGraph;
+struct Dataflow;
+
+/// The semantic model the interprocedural families share; built once per
+/// run by the analyzer when any of them is enabled (symbols.hpp,
+/// callgraph.hpp, dataflow.hpp).
+struct SemanticModel {
+  const SymbolIndex* index = nullptr;
+  const CallGraph* graph = nullptr;
+  const Dataflow* flow = nullptr;
+};
+
 // Rule family entry points. Each appends findings for every file in the
 // model; filtering (baseline, --rules) happens downstream.
 void run_determinism_rules(const Model& model, std::vector<Finding>* out);
@@ -89,6 +123,11 @@ void run_scheduling_rules(const Model& model, std::vector<Finding>* out);
 void run_layering_rules(const Model& model, const LayerManifest& manifest,
                         std::vector<Finding>* out);
 void run_perf_rules(const Model& model, const LayerManifest& manifest,
-                    std::vector<Finding>* out);
+                    const SemanticModel& sem, std::vector<Finding>* out);
+void run_concurrency_rules(const Model& model, const LayerManifest& manifest,
+                           const SemanticModel& sem,
+                           std::vector<Finding>* out);
+void run_taint_rules(const Model& model, const SemanticModel& sem,
+                     std::vector<Finding>* out);
 
 }  // namespace quicsteps::analyze

@@ -1,0 +1,323 @@
+// Static race detection for the serial==parallel invariant.
+//
+// The repo's reproducibility story rests on ParallelRunner producing
+// bit-identical wire_hash values to the serial path. That only holds while
+// worker thunks touch no unsynchronized shared state. This family roots at
+// the manifest's parallel_entries functions (default: parallel_for),
+// collects every worker entry point (lambdas passed to such a call, plus
+// the pool worker defined inside the entry function itself), walks the
+// call graph from each, and flags mutations of:
+//   * by-reference captures whose owning callable is NOT itself reachable
+//     from the worker — i.e. state that lives on the spawning thread's
+//     stack. (A lambda defined inside worker-reachable code mutating its
+//     own enclosing locals is thread-private and stays silent.)
+//   * non-const namespace-scope globals and function-local statics reached
+//     from any worker-reachable callable.
+// Exemptions: the variable's declared type is std::atomic or a mutex/lock
+// type, or a lock_guard/scoped_lock/unique_lock is declared earlier in the
+// mutating callable's body (scope-insensitive — a lock anywhere before the
+// mutation in the same body counts).
+#include <algorithm>
+#include <set>
+
+#include "callgraph.hpp"
+#include "dataflow.hpp"
+#include "rule.hpp"
+#include "symbols.hpp"
+
+namespace quicsteps::analyze {
+
+namespace {
+
+constexpr std::size_t npos = Symbol::npos;
+
+bool is_mutator_method(const std::string& s) {
+  static const char* kMutators[] = {
+      "push_back", "emplace_back", "pop_back", "insert",    "erase",
+      "clear",     "resize",       "store",    "fetch_add", "fetch_sub",
+      "exchange",  "assign",       "append",   "emplace",   "push",
+      "pop",       "reset",
+  };
+  for (const char* m : kMutators) {
+    if (s == m) return true;
+  }
+  return false;
+}
+
+bool match_bracket(const std::vector<Token>& toks, std::size_t open,
+                   std::size_t* close) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].in_pp) continue;
+    if (toks[i].is_punct("[")) ++depth;
+    if (toks[i].is_punct("]")) {
+      --depth;
+      if (depth == 0) {
+        *close = i;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Is `= <rhs>` (assignment) at `k`, as opposed to `==` (the lexer splits
+/// == into two `=` tokens)?
+bool is_assign_at(const std::vector<Token>& toks, std::size_t k) {
+  return k < toks.size() && toks[k].is_punct("=") &&
+         !(k + 1 < toks.size() && toks[k + 1].is_punct("=")) &&
+         !(k > 0 && toks[k - 1].is_punct("=")) &&
+         !(k > 0 && (toks[k - 1].is_punct("!") || toks[k - 1].is_punct("<") ||
+                     toks[k - 1].is_punct(">")));
+}
+
+/// True when the identifier at `i` is written through: `x = `, `x += `,
+/// `++x` / `x++`, `x[..] = `, or `x.push_back(..)`-style mutator calls.
+bool is_mutation(const std::vector<Token>& toks, std::size_t i,
+                 std::string* how) {
+  const auto compound_op = [&](std::size_t k) {
+    return k < toks.size() &&
+           (toks[k].is_punct("+") || toks[k].is_punct("-") ||
+            toks[k].is_punct("*") || toks[k].is_punct("/") ||
+            toks[k].is_punct("%") || toks[k].is_punct("|") ||
+            toks[k].is_punct("^") || toks[k].is_punct("&"));
+  };
+  if (is_assign_at(toks, i + 1)) {
+    *how = "assigned";
+    return true;
+  }
+  if (compound_op(i + 1) && i + 2 < toks.size() &&
+      toks[i + 2].is_punct("=") &&
+      !(i + 3 < toks.size() && toks[i + 3].is_punct("="))) {
+    // `x += 1` lexes as x + = 1. (`x && = ...` cannot occur: && is one
+    // token.)
+    *how = "updated in place";
+    return true;
+  }
+  if ((i + 2 < toks.size() && toks[i + 1].is_punct("+") &&
+       toks[i + 2].is_punct("+")) ||
+      (i + 2 < toks.size() && toks[i + 1].is_punct("-") &&
+       toks[i + 2].is_punct("-")) ||
+      (i >= 2 && toks[i - 1].is_punct("+") && toks[i - 2].is_punct("+")) ||
+      (i >= 2 && toks[i - 1].is_punct("-") && toks[i - 2].is_punct("-"))) {
+    *how = "incremented";
+    return true;
+  }
+  if (i + 1 < toks.size() && toks[i + 1].is_punct("[")) {
+    std::size_t close = 0;
+    if (match_bracket(toks, i + 1, &close)) {
+      // Chained subscripts: results[a][b] = ...
+      while (close + 1 < toks.size() && toks[close + 1].is_punct("[")) {
+        std::size_t next_close = 0;
+        if (!match_bracket(toks, close + 1, &next_close)) break;
+        close = next_close;
+      }
+      if (is_assign_at(toks, close + 1)) {
+        *how = "written through operator[]";
+        return true;
+      }
+    }
+  }
+  if (i + 2 < toks.size() &&
+      (toks[i + 1].is_punct(".") || toks[i + 1].is_punct("->")) &&
+      toks[i + 2].kind == TokKind::kIdentifier &&
+      is_mutator_method(toks[i + 2].text) && i + 3 < toks.size() &&
+      toks[i + 3].is_punct("(")) {
+    *how = "mutated via ." + toks[i + 2].text + "()";
+    return true;
+  }
+  return false;
+}
+
+/// Capture-list classification for one lambda.
+struct Captures {
+  bool default_ref = false;              // [&] or [&, ...]
+  std::vector<std::string> by_ref;       // [&name]
+  std::vector<std::string> by_value;     // [name], [name = expr]
+};
+
+Captures parse_captures(const std::vector<Token>& toks, const Symbol& sym) {
+  Captures caps;
+  for (std::size_t k = sym.cap_begin + 1; k < sym.cap_end; ++k) {
+    const Token& t = toks[k];
+    if (t.in_pp) continue;
+    if (t.is_punct("&")) {
+      const bool next_is_name = k + 1 < sym.cap_end &&
+                                toks[k + 1].kind == TokKind::kIdentifier &&
+                                toks[k + 1].text != "this";
+      if (next_is_name) {
+        caps.by_ref.push_back(toks[k + 1].text);
+        ++k;
+      } else {
+        caps.default_ref = true;
+      }
+    } else if (t.kind == TokKind::kIdentifier && t.text != "this") {
+      caps.by_value.push_back(t.text);
+      // `[name = expr]` init-captures own their state; skip the expr.
+      while (k + 1 < sym.cap_end && !toks[k + 1].is_punct(",")) ++k;
+    }
+  }
+  return caps;
+}
+
+struct RuleContext {
+  const Model& model;
+  const SymbolIndex& index;
+  const CallGraph& graph;
+  const Dataflow& flow;
+  // Deduplication across overlapping worker reachable sets: one finding
+  // per mutation site, attributed to the first (lowest-id) worker entry.
+  std::set<std::pair<std::size_t, std::pair<int, int>>> seen;
+  std::vector<Finding>* out;
+
+  /// Lock types among `callable`'s locals declared before token `before`.
+  bool lock_held_before(std::size_t callable, std::size_t before) const {
+    const CallableDataflow* df = flow.for_symbol(callable);
+    if (df == nullptr) return false;
+    for (const Local& local : df->locals) {
+      if (local.decl_tok < before &&
+          type_text_is_mutex(local.type_text)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void report(std::size_t file, const Token& at, const std::string& message) {
+    const auto key = std::make_pair(file, std::make_pair(at.line, at.col));
+    if (!seen.insert(key).second) return;
+    out->push_back({"concurrency/parallel-shared-state",
+                    model.files[file].rel_path, at.line, at.col, message,
+                    false,
+                    {}});
+  }
+
+  /// Nearest ancestor callable (following Symbol::parent) owning a local
+  /// or parameter named `name`; npos when none.
+  std::size_t capture_owner(std::size_t lambda, const std::string& name,
+                            const Local** local_out) const {
+    for (std::size_t up = index.symbols[lambda].parent; up != npos;
+         up = index.symbols[up].parent) {
+      const CallableDataflow* df = flow.for_symbol(up);
+      if (df == nullptr) continue;
+      const std::size_t l = df->find(name);
+      if (l != npos) {
+        *local_out = &df->locals[l];
+        return up;
+      }
+    }
+    return npos;
+  }
+
+  void scan_callable(std::size_t id, const Symbol& entry,
+                     const std::set<std::size_t>& reach);
+};
+
+void RuleContext::scan_callable(std::size_t id, const Symbol& entry,
+                                const std::set<std::size_t>& reach) {
+  const Symbol& sym = index.symbols[id];
+  if (sym.body_begin == npos || sym.body_end == npos) return;
+  const std::vector<Token>& toks = model.files[sym.file].lex.tokens;
+
+  Captures caps;
+  const CallableDataflow* own_flow = flow.for_symbol(id);
+  if (sym.kind == Symbol::Kind::kLambda) caps = parse_captures(toks, sym);
+
+  for (std::size_t i = sym.body_begin + 1; i < sym.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.in_pp || t.kind != TokKind::kIdentifier) continue;
+    // Tokens of a nested lambda are scanned under that lambda (it is in
+    // the reachable set via the containment edge).
+    if (index.enclosing_callable(sym.file, i) != id) continue;
+    // `obj.name` / `p->name` / `A::name` is a member, not this variable.
+    if (i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("->") ||
+                  toks[i - 1].is_punct("::"))) {
+      continue;
+    }
+    std::string how;
+    if (!is_mutation(toks, i, &how)) continue;
+
+    // (a) By-reference capture owned by a callable outside the worker's
+    // reachable region: that state lives on the spawning thread.
+    if (sym.kind == Symbol::Kind::kLambda) {
+      const bool ref_captured =
+          std::find(caps.by_ref.begin(), caps.by_ref.end(), t.text) !=
+              caps.by_ref.end() ||
+          (caps.default_ref &&
+           std::find(caps.by_value.begin(), caps.by_value.end(), t.text) ==
+               caps.by_value.end());
+      const bool shadowed =
+          own_flow != nullptr && own_flow->find(t.text) != npos;
+      if (ref_captured && !shadowed) {
+        const Local* owner_local = nullptr;
+        const std::size_t owner = capture_owner(id, t.text, &owner_local);
+        if (owner != npos && reach.count(owner) == 0 &&
+            !type_text_is_atomic(owner_local->type_text) &&
+            !type_text_is_mutex(owner_local->type_text) &&
+            !lock_held_before(id, i)) {
+          report(sym.file, t,
+                 "worker '" + entry.qual_name + "' " + how +
+                     " by-ref capture '" + t.text + "' (declared at line " +
+                     std::to_string(owner_local->line) +
+                     ") without a lock; cross-thread writes must be atomic "
+                     "or mutex-guarded to keep serial==parallel");
+        }
+      }
+    }
+
+    // (b) Non-const globals and static locals: shared whatever thread
+    // declared them.
+    auto [lo, hi] = index.variables_by_name.equal_range(t.text);
+    for (auto it = lo; it != hi; ++it) {
+      const Symbol& var = index.symbols[it->second];
+      if (var.is_const || var.is_atomic || var.is_mutex) continue;
+      // Prefer same-file resolution; cross-file globals only bind when the
+      // name is unique project-wide.
+      if (var.file != sym.file &&
+          index.variables_by_name.count(t.text) > 1) {
+        continue;
+      }
+      if (lock_held_before(id, i)) break;
+      const std::string what =
+          var.kind == Symbol::Kind::kStaticLocal ? "static local" : "global";
+      report(sym.file, t,
+             "worker '" + entry.qual_name + "' reaches '" + sym.qual_name +
+                 "', which " + how + " non-const " + what + " '" + t.text +
+                 "' (declared at " + model.files[var.file].rel_path + ":" +
+                 std::to_string(var.line) +
+                 ") without a lock; make it atomic, guard it, or move it "
+                 "into per-task state");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void run_concurrency_rules(const Model& model, const LayerManifest& manifest,
+                           const SemanticModel& sem,
+                           std::vector<Finding>* out) {
+  const SymbolIndex& index = *sem.index;
+  const CallGraph& graph = *sem.graph;
+  const std::vector<std::size_t> entries =
+      worker_entries(index, graph, manifest.parallel_entries);
+  RuleContext ctx{model, index, graph, *sem.flow, {}, out};
+  for (const std::size_t entry : entries) {
+    // Reachable set: the worker plus everything its calls can run.
+    std::set<std::size_t> reach;
+    std::vector<std::size_t> frontier{entry};
+    reach.insert(entry);
+    while (!frontier.empty()) {
+      const std::size_t at = frontier.back();
+      frontier.pop_back();
+      for (const std::size_t next : graph.edges[at]) {
+        if (reach.insert(next).second) frontier.push_back(next);
+      }
+    }
+    for (const std::size_t id : reach) {
+      ctx.scan_callable(id, index.symbols[entry], reach);
+    }
+  }
+}
+
+}  // namespace quicsteps::analyze

@@ -39,7 +39,23 @@ bool next_is_call(const std::vector<Token>& toks, std::size_t i) {
 
 void add(std::vector<Finding>* out, const char* id, const SourceFile& f,
          const Token& t, std::string message) {
-  out->push_back({id, f.rel_path, t.line, t.col, std::move(message), false});
+  out->push_back({id, f.rel_path, t.line, t.col, std::move(message), false, {}});
+}
+
+/// Machine fix: swap the `unordered_<X>` token for its ordered `<X>`
+/// equivalent in place.
+FixIt ordered_equivalent_fix(const Token& container_tok) {
+  FixIt fix;
+  const std::string ordered =
+      container_tok.text.substr(std::string("unordered_").size());
+  fix.description = "replace " + container_tok.text + " with " + ordered;
+  fix.line = container_tok.line;
+  fix.col = container_tok.col;
+  fix.end_line = container_tok.line;
+  fix.end_col =
+      container_tok.col + static_cast<int>(container_tok.text.size());
+  fix.replacement = ordered;
+  return fix;
 }
 
 }  // namespace
@@ -47,8 +63,12 @@ void add(std::vector<Finding>* out, const char* id, const SourceFile& f,
 void run_determinism_rules(const Model& model, std::vector<Finding>* out) {
   for (const auto& f : model.files) {
     if (f.is_header && !f.lex.has_pragma_once) {
+      FixIt fix;
+      fix.description = "insert #pragma once";
+      fix.replacement = "#pragma once\n";
       out->push_back({"determinism/include-guard", f.rel_path, 1, 1,
-                      "header lacks #pragma once", false});
+                      "header lacks #pragma once", false,
+                      std::vector<FixIt>{fix}});
     }
 
     const auto& toks = f.lex.tokens;
@@ -67,6 +87,7 @@ void run_determinism_rules(const Model& model, std::vector<Finding>* out) {
             t.text + " reached exporter code unqualified (alias or "
                      "using-import); exporters may only iterate sorted "
                      "containers");
+        out->back().fixits.push_back(ordered_equivalent_fix(t));
         continue;
       }
 
@@ -88,6 +109,7 @@ void run_determinism_rules(const Model& model, std::vector<Finding>* out) {
               "std::" + m +
                   " iteration order is allocator-dependent; use std::map, a "
                   "sorted vector, or net::CountersTable");
+          out->back().fixits.push_back(ordered_equivalent_fix(toks[i + 2]));
         } else if (m == "this_thread" && i + 4 < toks.size() &&
                    toks[i + 3].is_punct("::") &&
                    (toks[i + 4].is_id("sleep_for") ||

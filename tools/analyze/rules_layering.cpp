@@ -68,6 +68,22 @@ bool load_layer_manifest(const std::string& json_text, LayerManifest* out,
     }
   }
 
+  if (const JsonValue* entries = doc->find("parallel_entries")) {
+    if (!entries->is_array()) {
+      *error = "layers.json: \"parallel_entries\" must be an array";
+      return false;
+    }
+    for (const auto& e : entries->array) {
+      if (!e.is_string()) {
+        *error = "layers.json: \"parallel_entries\" has a non-string entry";
+        return false;
+      }
+      out->parallel_entries.push_back(e.str);
+    }
+  } else {
+    out->parallel_entries.push_back("parallel_for");
+  }
+
   // Every dep must itself be declared (or the "*" wildcard).
   for (const auto& [name, deps] : out->allow) {
     for (const auto& d : deps) {
@@ -132,14 +148,17 @@ std::string include_layer(const std::string& path) {
 void check_layer_edges(const Model& model, const LayerManifest& manifest,
                        std::vector<Finding>* out) {
   for (const auto& f : model.files) {
-    if (f.include_key.empty()) continue;  // outside the include base
+    // Flat files (no directory component anywhere) carry no layer; files
+    // outside the include base still do, via rel_path (self-hosting).
+    if (f.include_key.empty() && f.layer.empty()) continue;
     if (!f.layer.empty() && !manifest.declared(f.layer)) {
       out->push_back(
           {"layering/unknown-layer", f.rel_path, 1, 1,
            "directory '" + f.layer +
                "' is not declared in layers.json; declare its place in the "
                "stack before adding code to it",
-           false});
+           false,
+           {}});
       continue;
     }
     if (f.layer.empty()) continue;  // flat files carry no layer
@@ -161,7 +180,8 @@ void check_layer_edges(const Model& model, const LayerManifest& manifest,
                  "\" (layer '" + target +
                  "'); the declared stack in tools/analyze/layers.json only "
                  "allows downward includes",
-             false});
+             false,
+             {}});
       }
     }
   }
@@ -252,7 +272,7 @@ void check_cycles(const Model& model, std::vector<Finding>* out) {
                      : model.files[idx].include_key;
     }
     out->push_back({"layering/cycle", anchor.rel_path, line, 1,
-                    "include cycle: " + members, false});
+                    "include cycle: " + members, false, {}});
   }
 }
 

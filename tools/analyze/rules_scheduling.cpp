@@ -72,7 +72,8 @@ void run_scheduling_rules(const Model& model, std::vector<Finding>* out) {
                    "lambda passed to " + toks[i].text +
                        " captures by reference; the callback runs after "
                        "this frame returns — capture by value or pointer",
-                   false});
+                   false,
+                   {}});
               break;
             }
           }

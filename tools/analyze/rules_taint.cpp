@@ -1,0 +1,264 @@
+// determinism/unordered-taint: unordered iteration order flowing to sinks.
+//
+// Rule 14 (determinism/exporter-unordered) only sees an unordered_* token
+// spelled inside an exporter file. This family follows the order itself:
+// a local, parameter, or call result typed unordered_* is a taint source;
+// range-for bindings over a tainted container and copies/assignments from
+// tainted values propagate (intraprocedurally, over the dataflow
+// skeleton); a declaration with an explicitly ordered container type
+// (map/set without unordered_) launders — the usual "accumulate into a
+// std::map, then emit" pattern stays silent. A tainted value reaching a
+// sink — an argument to a call whose name looks like an exporter / hash /
+// report operation, or a `<<` stream — is the finding: the bytes published
+// there depend on allocator state, not on (config, seed).
+//
+// Returns are covered without cross-call propagation: a callee's unordered
+// return type taints `auto x = f();` at the caller, and an unordered
+// parameter is tainted from entry inside the callee.
+#include <algorithm>
+
+#include "callgraph.hpp"
+#include "dataflow.hpp"
+#include "rule.hpp"
+#include "symbols.hpp"
+
+namespace quicsteps::analyze {
+
+namespace {
+
+constexpr std::size_t npos = Symbol::npos;
+
+bool is_unordered_type(const std::string& type_text) {
+  return type_text.find("unordered_") != std::string::npos;
+}
+
+/// Explicitly ordered declaration types launder taint: iterating a
+/// std::map copy of an unordered container is deterministic.
+bool is_ordered_type(const std::string& type_text) {
+  if (is_unordered_type(type_text)) return false;
+  for (const char* t : {"map", "set", "vector", "array", "deque"}) {
+    if (type_text.find(t) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool is_sink_name(const std::string& name) {
+  static const char* kSinks[] = {
+      "write", "print",  "emit", "publish", "export", "qlog",
+      "csv",   "json",   "hash", "combine", "record", "append",
+      "row",   "report", "dump", "serialize",
+  };
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  for (const char* s : kSinks) {
+    if (lower.find(s) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Does token range [begin, end) mention local `name` outside member
+/// access?
+bool range_mentions(const std::vector<Token>& toks, std::size_t begin,
+                    std::size_t end, const std::string& name) {
+  for (std::size_t k = begin; k < end && k < toks.size(); ++k) {
+    if (toks[k].in_pp || toks[k].kind != TokKind::kIdentifier ||
+        toks[k].text != name) {
+      continue;
+    }
+    if (k > 0 && (toks[k - 1].is_punct(".") || toks[k - 1].is_punct("->") ||
+                  toks[k - 1].is_punct("::"))) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Does [begin, end) call a function whose (indexed) return type is
+/// unordered? Resolves by name against the symbol index.
+bool range_calls_unordered_returner(const std::vector<Token>& toks,
+                                    std::size_t begin, std::size_t end,
+                                    const SymbolIndex& index) {
+  for (std::size_t k = begin; k + 1 < end && k + 1 < toks.size(); ++k) {
+    if (toks[k].in_pp || toks[k].kind != TokKind::kIdentifier ||
+        !toks[k + 1].is_punct("(")) {
+      continue;
+    }
+    auto [lo, hi] = index.callables_by_name.equal_range(toks[k].text);
+    for (auto it = lo; it != hi; ++it) {
+      if (is_unordered_type(index.symbols[it->second].type_text)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// The source label shown in the message: the tainted local's origin.
+struct TaintState {
+  std::vector<bool> tainted;          // per local index
+  std::vector<std::string> origin;    // per local index
+};
+
+void analyze_callable(const Model& model, const SymbolIndex& index,
+                      const CallGraph& graph, const CallableDataflow& df,
+                      std::vector<Finding>* out) {
+  const Symbol& sym = index.symbols[df.symbol];
+  const std::vector<Token>& toks = model.files[sym.file].lex.tokens;
+
+  TaintState state;
+  state.tainted.assign(df.locals.size(), false);
+  state.origin.assign(df.locals.size(), "");
+
+  // Seed: unordered-typed locals and parameters.
+  for (std::size_t l = 0; l < df.locals.size(); ++l) {
+    if (is_unordered_type(df.locals[l].type_text)) {
+      state.tainted[l] = true;
+      state.origin[l] = "'" + df.locals[l].name + "' (unordered type at line " +
+                        std::to_string(df.locals[l].line) + ")";
+    }
+  }
+
+  // Propagate to fixpoint: range-for over tainted, copy/assign from
+  // tainted, or assignment from an unordered-returning call. Ordered
+  // declaration types launder.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t l = 0; l < df.locals.size(); ++l) {
+      const Local& local = df.locals[l];
+      if (state.tainted[l] || is_ordered_type(local.type_text)) continue;
+      std::string origin;
+      if (local.is_range_for) {
+        for (std::size_t o = 0; o < df.locals.size(); ++o) {
+          if (state.tainted[o] &&
+              range_mentions(toks, local.range_begin, local.range_end,
+                             df.locals[o].name)) {
+            origin = state.origin[o];
+            break;
+          }
+        }
+        if (origin.empty() &&
+            range_calls_unordered_returner(toks, local.range_begin,
+                                           local.range_end, index)) {
+          origin = "an unordered-returning call (line " +
+                   std::to_string(local.line) + ")";
+        }
+      }
+      if (origin.empty()) {
+        for (const Def& def : local.defs) {
+          for (std::size_t o = 0; o < df.locals.size() && origin.empty();
+               ++o) {
+            if (o != l && state.tainted[o] &&
+                range_mentions(toks, def.rhs_begin, def.rhs_end,
+                               df.locals[o].name)) {
+              origin = state.origin[o];
+            }
+          }
+          if (origin.empty() &&
+              range_calls_unordered_returner(toks, def.rhs_begin,
+                                             def.rhs_end, index)) {
+            origin = "an unordered-returning call (line " +
+                     std::to_string(local.line) + ")";
+          }
+          if (!origin.empty()) break;
+        }
+      }
+      if (!origin.empty()) {
+        state.tainted[l] = true;
+        state.origin[l] = origin;
+        changed = true;
+      }
+    }
+  }
+
+  if (std::none_of(state.tainted.begin(), state.tainted.end(),
+                   [](bool b) { return b; })) {
+    return;
+  }
+
+  // Sinks. (1) tainted value inside the argument list of a sink-named
+  // call; (2) tainted value streamed with `<<` (lexed as two '<' tokens).
+  for (const CallSite& site : graph.sites) {
+    if (site.caller != df.symbol || !is_sink_name(site.name)) continue;
+    for (std::size_t l = 0; l < df.locals.size(); ++l) {
+      if (!state.tainted[l] ||
+          !range_mentions(toks, site.args_begin + 1, site.args_end,
+                          df.locals[l].name)) {
+        continue;
+      }
+      Finding finding{
+          "determinism/unordered-taint",
+          model.files[sym.file].rel_path,
+          site.line,
+          site.col,
+          "unordered iteration order from " + state.origin[l] +
+              " flows into sink '" + site.name + "' via '" +
+              df.locals[l].name +
+              "'; published bytes would depend on allocator state — use an "
+              "ordered container or sort before the sink",
+          false,
+          {}};
+      // Machine fix at the source: swap the unordered_* declaration type
+      // for its ordered equivalent.
+      const Local& src = df.locals[l];
+      const std::size_t u = src.type_text.find("unordered_");
+      if (u != std::string::npos && src.decl_tok > 0) {
+        for (std::size_t k = src.decl_tok; k-- > 0;) {
+          const Token& t = toks[k];
+          if (t.kind == TokKind::kIdentifier &&
+              t.text.rfind("unordered_", 0) == 0) {
+            FixIt fix;
+            const std::string ordered =
+                t.text.substr(std::string("unordered_").size());
+            fix.description = "replace " + t.text + " with " + ordered;
+            fix.line = t.line;
+            fix.col = t.col;
+            fix.end_line = t.line;
+            fix.end_col = t.col + static_cast<int>(t.text.size());
+            fix.replacement = ordered;
+            finding.fixits.push_back(fix);
+            break;
+          }
+          if (t.is_punct(";") || t.is_punct("{") || t.is_punct("}")) break;
+        }
+      }
+      out->push_back(std::move(finding));
+      break;  // one finding per sink call site
+    }
+  }
+  for (std::size_t l = 0; l < df.locals.size(); ++l) {
+    if (!state.tainted[l]) continue;
+    const Local& local = df.locals[l];
+    for (const std::size_t use : local.uses) {
+      const bool streamed =
+          use >= 2 && toks[use - 1].is_punct("<") &&
+          toks[use - 2].is_punct("<") &&
+          !(use >= 3 && toks[use - 3].is_punct("<"));
+      if (!streamed) continue;
+      out->push_back(
+          {"determinism/unordered-taint", model.files[sym.file].rel_path,
+           toks[use].line, toks[use].col,
+           "unordered iteration order from " + state.origin[l] +
+               " is streamed with operator<< via '" + local.name +
+               "'; published bytes would depend on allocator state — use an "
+               "ordered container or sort before the sink",
+           false,
+           {}});
+    }
+  }
+}
+
+}  // namespace
+
+void run_taint_rules(const Model& model, const SemanticModel& sem,
+                     std::vector<Finding>* out) {
+  for (const CallableDataflow& df : sem.flow->callables) {
+    analyze_callable(model, *sem.index, *sem.graph, df, out);
+  }
+}
+
+}  // namespace quicsteps::analyze

@@ -95,7 +95,8 @@ void run_units_rules(const Model& model, std::vector<Finding>* out) {
                      "' carries a unit suffix; use " + wrap +
                      " (or baseline it with a comment explaining why raw "
                      "representation is required)",
-                 false});
+                 false,
+                 {}});
           }
         }
       }
@@ -119,7 +120,8 @@ void run_units_rules(const Model& model, std::vector<Finding>* out) {
                      toks[k + 1].text +
                      "()...) unwraps and rewraps in one expression; express "
                      "the arithmetic on the strong type instead",
-                 false});
+                 false,
+                 {}});
             break;
           }
         }

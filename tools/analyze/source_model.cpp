@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "cache.hpp"
 #include "lexer.hpp"
 
 namespace quicsteps::analyze {
@@ -39,17 +40,22 @@ std::string relative_to(const fs::path& p, const fs::path& base) {
 
 bool build_model(const std::vector<std::string>& paths,
                  const std::string& root, const std::string& include_base,
-                 Model* model, std::string* error) {
+                 Model* model, std::string* error, TokenCache* cache) {
   std::vector<std::pair<fs::path, bool>> inputs;  // path, is_header
   for (const auto& raw : paths) {
     fs::path p = fs::path(raw).lexically_normal();
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
-      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      fs::recursive_directory_iterator it(p), end;
+      for (; it != end; ++it) {
+        if (it->is_directory() && it->path().filename() == "testdata") {
+          it.disable_recursion_pending();
+          continue;
+        }
         bool is_header = false;
-        if (entry.is_regular_file() &&
-            has_source_suffix(entry.path(), &is_header)) {
-          inputs.emplace_back(entry.path().lexically_normal(), is_header);
+        if (it->is_regular_file() &&
+            has_source_suffix(it->path(), &is_header)) {
+          inputs.emplace_back(it->path().lexically_normal(), is_header);
         }
       }
     } else if (fs::is_regular_file(p, ec)) {
@@ -72,6 +78,11 @@ bool build_model(const std::vector<std::string>& paths,
     if (!f.include_key.empty()) {
       const auto slash = f.include_key.find('/');
       if (slash != std::string::npos) f.layer = f.include_key.substr(0, slash);
+    } else {
+      // Outside the include base (the self-hosted tools/ tree): the layer
+      // is still the first rel_path component so layering rules apply.
+      const auto slash = f.rel_path.find('/');
+      if (slash != std::string::npos) f.layer = f.rel_path.substr(0, slash);
     }
     f.is_header = is_header;
 
@@ -82,7 +93,9 @@ bool build_model(const std::vector<std::string>& paths,
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    f.lex = lex(buf.str());
+    const std::string content = buf.str();
+    f.content_hash = content_hash(content);
+    f.lex = cache != nullptr ? cache->lex_cached(content) : lex(content);
     model->files.push_back(std::move(f));
   }
 

@@ -1,0 +1,41 @@
+// Seeded races for concurrency/parallel-shared-state. The self-test pins
+// each finding's exact line; keep the numbering stable when editing.
+#include <atomic>
+#include <mutex>
+
+int shared_hits = 0;
+
+void bump_shared() { shared_hits = shared_hits + 1; }
+
+void race_two_workers(int n) {
+  int total = 0;
+  parallel_for(n, [&](int i) {
+    total += i;  // worker 1 writes the spawning frame's local
+  });
+  parallel_for(n, [&](int i) {
+    total = total + i;  // worker 2 writes the same local
+  });
+}
+
+void race_through_helper(int n) {
+  parallel_for(n, [](int i) {
+    bump_shared();  // reaches the global mutation via the call graph
+  });
+}
+
+void guarded_patterns(int n) {
+  std::atomic<int> counter(0);
+  std::mutex mu;
+  int guarded = 0;
+  parallel_for(n, [&](int i) {
+    counter.fetch_add(i);  // atomic: silent
+  });
+  parallel_for(n, [&](int i) {
+    std::lock_guard<std::mutex> lock(mu);
+    guarded += i;  // mutex-guarded: silent
+  });
+  parallel_for(n, [&](int i) {
+    int mine = 0;
+    mine += i;  // thread-private local: silent
+  });
+}

@@ -1,5 +1,7 @@
 // Perf fixture (hot): tagged under "hot_path" in the sibling layers.json,
-// so every pattern below must be flagged on its pinned line.
+// so every pattern below must be flagged on its pinned line. The call to
+// alloc_helper() drags that cold-file callable into the hot set
+// transitively — its allocation is flagged over in cold.cpp.
 void hot() {
   auto* p = new Packet();
   auto u = std::make_unique<Packet>();
@@ -8,4 +10,5 @@ void hot() {
   queue.emplace_back();
   loop.schedule_at(t, cb);
   loop.schedule_after(d, cb);
+  alloc_helper();
 }

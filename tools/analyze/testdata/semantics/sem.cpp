@@ -1,0 +1,27 @@
+// Symbol-index / call-graph golden fixture. The self-test pins symbol
+// kinds, classification, nesting, and edges; keep the shape stable.
+#include <atomic>
+#include <mutex>
+
+namespace demo {
+
+int global_counter = 0;
+const int kLimit = 8;
+std::atomic<int> atomic_hits;
+std::mutex gate;
+
+struct Widget {
+  int size() const { return n_; }
+  int n_ = 0;
+};
+
+int helper(int x) { return x + 1; }
+
+int entry(int x) {
+  static int calls = 0;
+  calls = calls + 1;
+  auto bump = [&](int d) { return helper(d) + x; };
+  return bump(x) + helper(x);
+}
+
+}  // namespace demo

@@ -1,0 +1,33 @@
+// Seeded unordered-iteration taint for determinism/unordered-taint. The
+// self-test pins each finding's exact line; keep the numbering stable.
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+void write_row(const std::string& key, int value);
+void dump_counts(const std::unordered_map<std::string, int>& counts);
+
+void publish_counts() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  for (const auto& kv : counts) {
+    write_row(kv.first, kv.second);  // tainted binding reaches a sink
+  }
+  dump_counts(counts);  // the container itself reaches a sink
+}
+
+void stream_tainted(std::ostream& out) {
+  std::unordered_map<int, int> sizes;
+  for (const auto& kv : sizes) {
+    out << kv.first;  // tainted binding streamed with operator<<
+  }
+}
+
+void launder_through_map() {
+  std::unordered_map<std::string, int> raw;
+  std::map<std::string, int> ordered(raw.begin(), raw.end());
+  for (const auto& kv : ordered) {
+    write_row(kv.first, kv.second);  // ordered copy launders: silent
+  }
+}

@@ -9,10 +9,11 @@
 #   2. ASan + UBSan build             -> ctest -L tier1-asan
 #   3. TSan build                     -> ctest -L tier1-tsan (tier-1 plus
 #                                        the worker-pool framework tests)
-#   4. static analysis                -> quicsteps-analyze over src/
-#                                        (layering / units / determinism /
-#                                        scheduling), plus the legacy lint
-#                                        wrapper CLI
+#   4. static analysis                -> quicsteps-analyze over src/ AND
+#                                        its own sources (self-hosting):
+#                                        layering / units / determinism /
+#                                        scheduling / perf / concurrency,
+#                                        plus the legacy lint wrapper CLI
 #   5. clang-tidy (when installed)    -> `tidy` target, .clang-tidy profile
 #
 # Build trees live in build-check/, build-asan/, build-tsan/ next to the

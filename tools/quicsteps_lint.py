@@ -8,7 +8,9 @@ src/. Those rules now live in the in-repo C++ static analyzer
 unit-safety, and scheduling rules — one engine owns every invariant. This
 wrapper keeps the historical CLI stable (`quicsteps_lint.py [--root R]
 [--allowlist F] [PATHS...]`, exit 0 clean / 1 violations / 2 bad
-invocation) and execs quicsteps-analyze.
+invocation) and execs quicsteps-analyze, forwarding `--cache-dir`,
+`--fix-baseline`, and `--rules` verbatim along with the analyzer's exact
+exit code.
 
 Old allowlist entries ("<path>:<rule>") are translated on the fly to the
 analyzer's baseline format ("<path>:determinism/<rule>"); permanent
@@ -83,6 +85,15 @@ def main(argv):
                         help="path to the quicsteps-analyze binary "
                              "(default: $QUICSTEPS_ANALYZE or the newest "
                              "build*/tools/analyze/quicsteps-analyze)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="forwarded verbatim: analyzer token/result "
+                             "cache directory")
+    parser.add_argument("--fix-baseline", action="store_true",
+                        help="forwarded verbatim: rewrite baseline files in "
+                             "place, dropping stale entries")
+    parser.add_argument("--rules", default=None,
+                        help="forwarded verbatim: comma-separated rule "
+                             "families to run")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to lint "
                              "(default: <root>/src)")
@@ -97,6 +108,12 @@ def main(argv):
         return 2
 
     cmd = [str(analyzer), "--root", str(root)]
+    if args.cache_dir is not None:
+        cmd += ["--cache-dir", args.cache_dir]
+    if args.fix_baseline:
+        cmd += ["--fix-baseline"]
+    if args.rules is not None:
+        cmd += ["--rules", args.rules]
     default_baseline = root / "tools" / "analyze" / "baseline.txt"
     tmp = None
     if args.allowlist is not None and args.allowlist.is_file():
