@@ -15,19 +15,23 @@ using namespace quicsteps::bench;
 int main() {
   print_header("ablA", "ETF delta sweep (design-choice ablation)");
 
-  const std::int64_t deltas_us[] = {25, 50, 100, 200, 400, 1000, 2000};
+  const sim::Duration deltas[] = {
+      sim::Duration::micros(25),  sim::Duration::micros(50),
+      sim::Duration::micros(100), sim::Duration::micros(200),
+      sim::Duration::micros(400), sim::Duration::micros(1000),
+      sim::Duration::micros(2000)};
 
   std::printf("-- paper configuration (missed launch transmits anyway) --\n");
   std::printf("%-12s %16s %16s\n", "delta [us]", "precision [ms]",
               "goodput [Mbit/s]");
   std::printf("%s\n", std::string(46, '-').c_str());
-  for (auto delta : deltas_us) {
-    auto config = base_config("etf-" + std::to_string(delta));
+  for (auto delta : deltas) {
+    auto config = base_config("etf-" + std::to_string(delta.us()));
     config.stack = framework::StackKind::kQuicheSf;
     config.topology.server_qdisc = framework::QdiscKind::kEtfOffload;
-    config.topology.etf.delta = sim::Duration::micros(delta);
+    config.topology.etf.delta = delta;
     auto agg = run(config);
-    std::printf("%-12lld %16s %16s\n", static_cast<long long>(delta),
+    std::printf("%-12lld %16s %16s\n", static_cast<long long>(delta.us()),
                 agg.precision_ms.to_string(3).c_str(),
                 agg.goodput_mbps.to_string(2).c_str());
   }
@@ -37,15 +41,15 @@ int main() {
   std::printf("%-12s %18s %16s\n", "delta [us]", "missed-slot share",
               "goodput [Mbit/s]");
   std::printf("%s\n", std::string(48, '-').c_str());
-  for (auto delta : deltas_us) {
-    auto config = base_config("etf-strict-" + std::to_string(delta));
+  for (auto delta : deltas) {
+    auto config = base_config("etf-strict-" + std::to_string(delta.us()));
     config.stack = framework::StackKind::kQuicheSf;
     config.topology.server_qdisc = framework::QdiscKind::kEtfOffload;
-    config.topology.etf.delta = sim::Duration::micros(delta);
+    config.topology.etf.delta = delta;
     config.topology.drop_missed_launch = true;
     // A strict-launch deployment stamps txtimes delta ahead of the
     // pacer's release so the qdisc+driver path can complete in time.
-    config.txtime_headroom = sim::Duration::micros(delta);
+    config.txtime_headroom = delta;
     auto runs = framework::Runner::run_all(config);
     auto agg = framework::aggregate(config.label, runs);
     double missed = 0.0;
@@ -56,7 +60,7 @@ int main() {
       }
     }
     missed /= static_cast<double>(runs.size());
-    std::printf("%-12lld %17.1f%% %16s\n", static_cast<long long>(delta),
+    std::printf("%-12lld %17.1f%% %16s\n", static_cast<long long>(delta.us()),
                 100.0 * missed, agg.goodput_mbps.to_string(2).c_str());
   }
 

@@ -13,12 +13,14 @@ int main() {
   struct NetPoint {
     const char* label;
     std::int64_t mbps;
-    std::int64_t rtt_ms;
+    sim::Duration rtt;
   };
   const NetPoint points[] = {
-      {"10 Mbit / 40 ms", 10, 40},  {"40 Mbit / 40 ms", 40, 40},
-      {"100 Mbit / 40 ms", 100, 40}, {"40 Mbit / 10 ms", 40, 10},
-      {"40 Mbit / 100 ms", 40, 100},
+      {"10 Mbit / 40 ms", 10, sim::Duration::millis(40)},
+      {"40 Mbit / 40 ms", 40, sim::Duration::millis(40)},
+      {"100 Mbit / 40 ms", 100, sim::Duration::millis(40)},
+      {"40 Mbit / 10 ms", 40, sim::Duration::millis(10)},
+      {"40 Mbit / 100 ms", 40, sim::Duration::millis(100)},
   };
   const framework::StackKind stacks[] = {
       framework::StackKind::kQuicheSf, framework::StackKind::kPicoquic,
@@ -35,11 +37,11 @@ int main() {
       config.topology.bottleneck_rate =
           net::DataRate::megabits_per_second(point.mbps);
       config.topology.path_delay_one_way =
-          sim::Duration::millis(point.rtt_ms / 2);
+          point.rtt / 2;
       // Scale the bottleneck buffer with the BDP, as the paper's setup did.
       config.topology.bottleneck_buffer_bytes =
           net::DataRate::megabits_per_second(point.mbps)
-              .bytes_in(sim::Duration::millis(point.rtt_ms));
+              .bytes_in(point.rtt);
       grid.push_back(config);
     }
   }

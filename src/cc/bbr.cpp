@@ -108,7 +108,10 @@ void Bbr::update_min_rtt(const AckSample& ack) {
 void Bbr::check_full_bandwidth() {
   if (full_bw_reached_ || !round_started_) return;
   const net::DataRate bw = bottleneck_bandwidth();
-  if (bw.bps() >= full_bw_.bps() * 5 / 4) {
+  // 25% growth test in __int128: full_bw_ can hold the infinite sentinel
+  // (1 << 62), so `bps * 5` would overflow int64.
+  if (static_cast<__int128>(bw.bps()) * 4 >=
+      static_cast<__int128>(full_bw_.bps()) * 5) {
     full_bw_ = bw;
     full_bw_count_ = 0;
     return;

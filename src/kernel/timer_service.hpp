@@ -41,14 +41,19 @@ class TimerService {
   sim::Time adjusted_fire_time(sim::Time at) {
     const sim::Time now = loop_.now();
     if (at < now) at = now;
+    // The never-firing sentinel: rounding must not move (or overflow) it.
+    if (at.is_infinite()) return at;
     sim::Time fire = at;
-    if (config_.granularity > sim::Duration::zero()) {
+    const sim::Duration gran = config_.granularity;
+    if (gran > sim::Duration::zero()) {
       // epoll-style: the app computes a timeout and rounds it up to whole
       // granules; a zero remainder still costs one granule when the
       // deadline is not "now" (the loop cannot wake mid-granule).
-      const std::int64_t g = config_.granularity.ns();
+      // Ceil as div-then-round: `(req + g - 1)` would overflow int64 for
+      // deadlines near the far end of the epoch.
+      const std::int64_t g = gran.ns();
       const std::int64_t req = (at - now).ns();
-      const std::int64_t granules = (req + g - 1) / g;
+      const std::int64_t granules = req / g + (req % g != 0 ? 1 : 0);
       fire = now + sim::Duration::nanos(granules * g);
     }
     fire += os_.rng().uniform_duration(sim::Duration::zero(), config_.slack_max);

@@ -148,6 +148,9 @@ inline SpanEvent make_span(TraceStage stage, std::uint16_t component,
 inline void publish_packet_span(TraceBus* bus, TraceStage stage,
                                 std::uint16_t component, sim::Time at,
                                 const net::Packet& pkt) {
+  // Null bus = tracing disabled. The QUICSTEPS_TRACE_SPAN macro checks
+  // before calling, but direct callers reach here unguarded.
+  if (bus == nullptr) return;
   if (pkt.is_gso_buffer()) {
     constexpr std::size_t kTrainBuf = 64;
     SpanEvent train[kTrainBuf];

@@ -37,9 +37,9 @@ void StackServer::on_datagram(const net::Packet& pkt) {
 
   // Duty-cycle loop stall: during the busy part of the cycle the loop is
   // off doing other work; everything that arrives queues until it ends.
-  if (profile_.loop_busy_cycle > sim::Duration::zero()) {
-    const std::int64_t phase =
-        loop_.now().ns() % profile_.loop_busy_cycle.ns();
+  const sim::Duration cycle = profile_.loop_busy_cycle;
+  if (cycle > sim::Duration::zero()) {
+    const std::int64_t phase = loop_.now().ns() % cycle.ns();
     if (phase < profile_.loop_busy_duration.ns()) {
       pending_acks_.push_back(pkt);
       if (!batch_timer_.pending()) {

@@ -20,6 +20,7 @@
 #include "analyze/baseline.hpp"
 #include "analyze/cache.hpp"
 #include "analyze/callgraph.hpp"
+#include "analyze/cfg.hpp"
 #include "analyze/lexer.hpp"
 #include "analyze/report.hpp"
 #include "analyze/rule.hpp"
@@ -154,9 +155,21 @@ TEST(AnalyzeLexer, BackslashNewlineSplicesKeepDirectiveState) {
 // Rule registry
 // ---------------------------------------------------------------------------
 
-TEST(AnalyzeRules, RegistryListsAllSeventeenRules) {
+TEST(AnalyzeRules, RegistryListsAllTwentyThreeRules) {
   const auto& rules = quicsteps::analyze::all_rules();
-  EXPECT_EQ(rules.size(), 17u);
+  EXPECT_EQ(rules.size(), 23u);
+  // The flow-sensitive v3 families ride on the CFG + abstract interpreter.
+  EXPECT_TRUE(quicsteps::analyze::known_rule("lifetime/use-after-recycle"));
+  EXPECT_TRUE(quicsteps::analyze::known_rule("lifetime/ref-escape"));
+  EXPECT_TRUE(quicsteps::analyze::known_rule("units/interval-overflow"));
+  EXPECT_TRUE(quicsteps::analyze::known_rule("units/div-by-zero-rate"));
+  EXPECT_TRUE(quicsteps::analyze::known_rule("units/lossy-narrowing"));
+  EXPECT_TRUE(quicsteps::analyze::known_rule("protocol/typestate"));
+  EXPECT_EQ(quicsteps::analyze::rule_family("lifetime/ref-escape"),
+            "lifetime");
+  EXPECT_EQ(quicsteps::analyze::rule_family("protocol/typestate"), "protocol");
+  EXPECT_EQ(quicsteps::analyze::rule_family("units/interval-overflow"),
+            "units");
   EXPECT_TRUE(quicsteps::analyze::known_rule("determinism/wall-clock"));
   EXPECT_TRUE(
       quicsteps::analyze::known_rule("determinism/exporter-unordered"));
@@ -233,7 +246,7 @@ TEST(AnalyzeViolationsFixture, RuleFamilyFilterNarrowsTheRun) {
   opts.rule_families = {"units"};
   AnalysisResult result = quicsteps::analyze::run_analysis(opts);
   ASSERT_TRUE(result.error.empty()) << result.error;
-  EXPECT_EQ(result.rules_run, 3u);  // the three units/* rules
+  EXPECT_EQ(result.rules_run, 6u);  // the six units/* rules
   for (const auto& f : result.findings) {
     EXPECT_EQ(quicsteps::analyze::rule_family(f.rule_id), "units") << f.rule_id;
   }
@@ -551,6 +564,196 @@ TEST(AnalyzeSymbols, HotTagsPropagateTransitivelyOverTheGraph) {
 }
 
 // ---------------------------------------------------------------------------
+// CFG builder: blocks, short-circuit splitting, loop heads
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeCfg, BranchyFixtureLowersToCondBlocksAndLoopHead) {
+  using quicsteps::analyze::Cfg;
+  const auto model = build_fixture_model(kTestdata + "/cfg");
+  const auto index = quicsteps::analyze::build_symbol_index(model);
+  const auto cfgs = quicsteps::analyze::build_cfg_index(model, index);
+
+  const Cfg* cfg = nullptr;
+  for (const auto& c : cfgs.cfgs) {
+    if (index.symbols[c.symbol].name == "classify") cfg = &c;
+  }
+  ASSERT_NE(cfg, nullptr);
+
+  // Entry and exit are empty plain blocks; the exit has no successors.
+  EXPECT_TRUE(cfg->blocks[Cfg::kEntry].stmts.empty());
+  EXPECT_TRUE(cfg->blocks[Cfg::kExit].succs.empty());
+
+  // `if (x > 0 && x < 10)` splits at the top-level && into TWO atomic
+  // condition blocks; the for loop contributes a third. Every condition
+  // block carries exactly one expression and exactly two successors.
+  std::size_t conds = 0, loop_heads = 0;
+  for (const auto& b : cfg->blocks) {
+    if (b.is_cond) {
+      ++conds;
+      EXPECT_EQ(b.stmts.size(), 1u);
+      EXPECT_EQ(b.succs.size(), 2u);
+    }
+    if (b.is_loop_head) ++loop_heads;
+  }
+  EXPECT_EQ(conds, 3u);
+  EXPECT_EQ(loop_heads, 1u);
+
+  // The RPO seed starts at the entry and never repeats a block.
+  ASSERT_FALSE(cfg->rpo.empty());
+  EXPECT_EQ(cfg->rpo.front(), Cfg::kEntry);
+  std::vector<std::size_t> sorted = cfg->rpo;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+// ---------------------------------------------------------------------------
+// Interval fixture: overflow / div-by-zero / narrowing, and the guarded
+// negatives the path-sensitivity exists for
+// ---------------------------------------------------------------------------
+
+AnalysisResult run_intervals_fixture() {
+  Options opts;
+  opts.root = kTestdata + "/intervals";
+  opts.paths = {opts.root};
+  opts.include_base = opts.root;
+  opts.layers_file = kNoLayers;
+  opts.rule_families = {"units"};
+  return quicsteps::analyze::run_analysis(opts);
+}
+
+TEST(AnalyzeIntervals, FlagsOverflowDivByZeroAndNarrowingOnPinnedLines) {
+  AnalysisResult result = run_intervals_fixture();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.files_scanned, 2u);
+  const std::vector<std::string> expected = {
+      "overflow.cpp:11 units/interval-overflow",  // factory scale
+      "overflow.cpp:18 units/interval-overflow",  // raw + on unwrapped ns
+      "overflow.cpp:23 units/interval-overflow",  // raw * before saturation
+      "overflow.cpp:29 units/div-by-zero-rate",   // divisor interval has 0
+      "overflow.cpp:34 units/lossy-narrowing",    // int64 ns into int
+  };
+  EXPECT_EQ(finding_keys(result), expected);
+}
+
+TEST(AnalyzeIntervals, NarrowingFindingCarriesAWideningFixit) {
+  AnalysisResult result = run_intervals_fixture();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  for (const auto& f : result.findings) {
+    if (f.rule_id != "units/lossy-narrowing") continue;
+    ASSERT_EQ(f.fixits.size(), 1u);
+    EXPECT_EQ(f.fixits[0].line, 34);
+    EXPECT_EQ(f.fixits[0].replacement, "std::int64_t");
+  }
+}
+
+TEST(AnalyzeIntervals, GuardedAndSaturatingPatternsStaySilent) {
+  // guarded.cpp re-states every overflow.cpp shape behind a guard the
+  // interval domain must refine on: `rate.bps() > 0`, `!rate.is_zero()`,
+  // a saturating_add_ns sum, a __int128 growth test, a plain loop
+  // counter (the widen-to-top regression), and a bounded factory arg.
+  AnalysisResult result = run_intervals_fixture();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  for (const auto& f : result.findings) {
+    EXPECT_NE(f.file, "guarded.cpp") << f.message;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifetime fixture: slab borrows dying across recycle paths
+// ---------------------------------------------------------------------------
+
+AnalysisResult run_lifetime_fixture() {
+  Options opts;
+  opts.root = kTestdata + "/lifetime";
+  opts.paths = {opts.root};
+  opts.include_base = opts.root;
+  opts.layers_file = kTestdata + "/lifetime/layers.json";
+  opts.rule_families = {"lifetime"};
+  return quicsteps::analyze::run_analysis(opts);
+}
+
+TEST(AnalyzeLifetime, FlagsUseAfterRecycleAcrossPathsAndCalls) {
+  AnalysisResult result = run_lifetime_fixture();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.files_scanned, 2u);
+  const std::vector<std::string> expected = {
+      "use_after.cpp:29 lifetime/use-after-recycle",  // straight-line put
+      "use_after.cpp:35 lifetime/use-after-recycle",  // via recycle_helper
+      "use_after.cpp:43 lifetime/use-after-recycle",  // one branch only
+      "use_after.cpp:48 lifetime/ref-escape",         // deferred callback
+  };
+  EXPECT_EQ(finding_keys(result), expected);
+  // The interprocedural finding names the container handed to the helper.
+  for (const auto& f : result.findings) {
+    if (f.line == 35) {
+      EXPECT_NE(f.message.find("'s2'"), std::string::npos) << f.message;
+    }
+  }
+}
+
+TEST(AnalyzeLifetime, LiveCopiedAndReborrowedHandlesStaySilent) {
+  AnalysisResult result = run_lifetime_fixture();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  for (const auto& f : result.findings) {
+    EXPECT_NE(f.file, "clean.cpp") << f.message;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Typestate fixture: the three declared protocols, may/must polarity
+// ---------------------------------------------------------------------------
+
+AnalysisResult run_typestate_fixture() {
+  Options opts;
+  opts.root = kTestdata + "/typestate";
+  opts.paths = {opts.root};
+  opts.include_base = opts.root;
+  opts.layers_file = kTestdata + "/typestate/layers.json";
+  opts.rule_families = {"protocol"};
+  return quicsteps::analyze::run_analysis(opts);
+}
+
+TEST(AnalyzeTypestate, FlagsOneViolationPerProtocolOnPinnedLines) {
+  AnalysisResult result = run_typestate_fixture();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.files_scanned, 2u);
+  const std::vector<std::string> expected = {
+      "misuse.cpp:11 protocol/typestate",  // run() on an unscheduled loop
+      "misuse.cpp:15 protocol/typestate",  // publish through unchecked ptr
+      "misuse.cpp:20 protocol/typestate",  // mutate after run_flows froze it
+  };
+  EXPECT_EQ(finding_keys(result), expected);
+  for (const auto& f : result.findings) {
+    if (f.line == 11) {
+      EXPECT_NE(f.message.find("eventloop-schedule-then-run"),
+                std::string::npos)
+          << f.message;
+    }
+    if (f.line == 15) {
+      EXPECT_NE(f.message.find("tracebus-checked-publish"), std::string::npos)
+          << f.message;
+    }
+    if (f.line == 20) {
+      EXPECT_NE(f.message.find("flowconfig-frozen-after-run"),
+                std::string::npos)
+          << f.message;
+    }
+  }
+}
+
+TEST(AnalyzeTypestate, GuardedEscapedAndJoinedUsesStaySilent) {
+  // clean.cpp exercises the joins the polarity model exists for: a sweep
+  // loop whose back edge merges {building, frozen} (must-silent), an
+  // escape into a component that may schedule, and both null-guard
+  // shapes (`if (bus)` dominates, `if (!bus) return` early-outs).
+  AnalysisResult result = run_typestate_fixture();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  for (const auto& f : result.findings) {
+    EXPECT_NE(f.file, "clean.cpp") << f.message;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Caches: token replay and whole-analysis result replay
 // ---------------------------------------------------------------------------
 
@@ -742,6 +945,20 @@ TEST(AnalyzeReport, SummaryLinePinsTheFormat) {
   EXPECT_EQ(quicsteps::analyze::summary_line(127, 40, 13, 9, 9, 14),
             "quicsteps-analyze: 127 files (40 cached), 13 rules, 9 finding(s) "
             "(9 baselined) in 14 ms");
+}
+
+TEST(AnalyzeReport, SarifGoldenOverIntervalsFixture) {
+  // The flow-sensitive findings (intervals + the narrowing fix-it) are
+  // golden-tested byte-for-byte, same as the v1 violations tree.
+  AnalysisResult result = run_intervals_fixture();
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  const std::string golden =
+      read_file_or_die(kTestdata + "/expected_intervals.sarif");
+  EXPECT_EQ(quicsteps::analyze::sarif_report(result.findings), golden)
+      << "regenerate with: quicsteps-analyze --root " << kTestdata
+      << "/intervals --include-base " << kTestdata << "/intervals"
+      << " --layers - --rules units --sarif " << kTestdata
+      << "/expected_intervals.sarif " << kTestdata << "/intervals";
 }
 
 TEST(AnalyzeReport, SarifGoldenOverViolationsFixture) {

@@ -361,6 +361,26 @@ TEST(BbrTest, ExitsStartupWhenBandwidthPlateaus) {
   EXPECT_NE(bbr.state(), Bbr::State::kStartup);
 }
 
+TEST(BbrTest, InfiniteBandwidthSampleStillExitsStartup) {
+  // A zero-duration delivery interval yields DataRate::infinite() — the
+  // 1 << 62 sentinel. The 25% growth test multiplies full_bw by 5, which
+  // wraps int64 at the sentinel; it runs in __int128 so the plateau
+  // detection keeps working and startup still exits after three
+  // no-growth rounds.
+  Bbr bbr;
+  Time t = Time::zero();
+  std::uint64_t pn = 0;
+  bbr.on_packet_sent(t + 40_ms, ++pn, 1500, 0);
+  bbr.on_ack(bbr_ack(t + 40_ms, 1500, pn, DataRate::infinite()));
+  for (int round = 0; round < 8 && bbr.state() == Bbr::State::kStartup;
+       ++round) {
+    t += 40_ms;
+    bbr.on_packet_sent(t, ++pn, 1500, 0);
+    bbr.on_ack(bbr_ack(t, 1500, pn, DataRate::megabits_per_second(40)));
+  }
+  EXPECT_NE(bbr.state(), Bbr::State::kStartup);
+}
+
 TEST(BbrTest, PacingRateTracksBandwidthTimesGain) {
   Bbr bbr;
   Time t = Time::zero() + 40_ms;

@@ -85,6 +85,41 @@ TEST(TimerService, GranularityRoundsUp) {
   EXPECT_EQ(fired, Time::zero() + 10_ms);
 }
 
+TEST(TimerService, ExactGranuleMultipleDoesNotRoundUpAnExtraGranule) {
+  EventLoop loop;
+  OsModel os(quiet_os(), sim::Rng(1));
+  TimerService timers(loop, os,
+                      {.granularity = 10_ms, .slack_max = Duration::zero()});
+  Time fired;
+  timers.arm(Time::zero() + 20_ms, [&] { fired = loop.now(); });
+  loop.run();
+  EXPECT_EQ(fired, Time::zero() + 20_ms);
+}
+
+TEST(TimerService, InfiniteDeadlineIsNeverRoundedOrSlacked) {
+  // Time::infinite() is the idle "never fires" sentinel. Granularity
+  // rounding must not move it (the old ceil, `req + g - 1`, wrapped
+  // int64 for it) and the slack draw saturates at the sentinel.
+  EventLoop loop;
+  OsModel os(quiet_os(), sim::Rng(1));
+  TimerService timers(loop, os, {.granularity = 10_ms, .slack_max = 2_ms});
+  EXPECT_TRUE(timers.adjusted_fire_time(Time::infinite()).is_infinite());
+}
+
+TEST(TimerService, FarFutureDeadlineRoundsWithoutWrapping) {
+  // ~146 simulated years out: the ceiling is computed div-then-round, so
+  // the granule count never transits through `req + g - 1`.
+  EventLoop loop;
+  OsModel os(quiet_os(), sim::Rng(1));
+  TimerService timers(loop, os,
+                      {.granularity = 10_ms, .slack_max = Duration::zero()});
+  const Time far = Time::from_ns(std::int64_t{1} << 62);
+  const Time fire = timers.adjusted_fire_time(far);
+  EXPECT_GE(fire, far);
+  EXPECT_LT(fire, far + 10_ms);
+  EXPECT_EQ(fire.ns() % (10_ms).ns(), 0);
+}
+
 TEST(TimerService, CancelWorks) {
   EventLoop loop;
   OsModel os(quiet_os(), sim::Rng(1));

@@ -84,6 +84,14 @@ TEST(TraceBus, GsoBufferExpandsIntoPerSegmentSpans) {
   EXPECT_EQ(bus.events().size(), 3u);  // non-GSO publishes exactly one
 }
 
+TEST(TraceBus, PublishPacketSpanWithNullBusIsANoOp) {
+  // Direct callers (not going through QUICSTEPS_TRACE_SPAN, which checks
+  // first) may hold a null bus when tracing is disabled.
+  obs::publish_packet_span(nullptr, TraceStage::kSocketWrite, 0,
+                           sim::Time::from_ns(1000),
+                           span_packet(1, 100, 1, 1200));
+}
+
 // ----------------------------------------------- Histogram and registry
 
 TEST(Histogram, BucketsByInclusiveUpperEdgeWithOverflow) {

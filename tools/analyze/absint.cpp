@@ -1,0 +1,173 @@
+#include "absint.hpp"
+
+#include <limits>
+
+namespace quicsteps::analyze {
+
+namespace {
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+/// Saturating multiply with overflow detection.
+std::int64_t sat_mul(std::int64_t a, std::int64_t b, bool* overflowed) {
+  if (a == 0 || b == 0) return 0;
+  // __int128 is available on every compiler this repo builds with.
+  const __int128 wide = static_cast<__int128>(a) * static_cast<__int128>(b);
+  if (wide > static_cast<__int128>(kMax)) {
+    *overflowed = true;
+    return kMax;
+  }
+  if (wide < static_cast<__int128>(kMin)) {
+    *overflowed = true;
+    return kMin;
+  }
+  return static_cast<std::int64_t>(wide);
+}
+
+std::int64_t sat_add(std::int64_t a, std::int64_t b, bool* overflowed) {
+  std::int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    *overflowed = true;
+    return b > 0 ? kMax : kMin;
+  }
+  return out;
+}
+
+std::int64_t sat_sub(std::int64_t a, std::int64_t b, bool* overflowed) {
+  std::int64_t out;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    *overflowed = true;
+    return b < 0 ? kMax : kMin;
+  }
+  return out;
+}
+
+}  // namespace
+
+IntInterval IntInterval::top() { return {kMin, kMax}; }
+
+IntInterval IntInterval::constant(std::int64_t v) { return {v, v}; }
+
+IntInterval IntInterval::range(std::int64_t lo, std::int64_t hi) {
+  return {lo, hi};
+}
+
+bool IntInterval::join(const IntInterval& o) {
+  if (o.is_bottom()) return false;
+  if (is_bottom()) {
+    *this = o;
+    return true;
+  }
+  bool changed = false;
+  if (o.lo < lo) {
+    lo = o.lo;
+    changed = true;
+  }
+  if (o.hi > hi) {
+    hi = o.hi;
+    changed = true;
+  }
+  return changed;
+}
+
+void IntInterval::widen(const IntInterval& prev) {
+  if (is_bottom() || prev.is_bottom()) return;
+  if (lo < prev.lo) lo = kMin;
+  if (hi > prev.hi) hi = kMax;
+}
+
+IntInterval IntInterval::add(const IntInterval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  bool of = false;
+  return {sat_add(lo, o.lo, &of), sat_add(hi, o.hi, &of)};
+}
+
+IntInterval IntInterval::sub(const IntInterval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  bool of = false;
+  return {sat_sub(lo, o.hi, &of), sat_sub(hi, o.lo, &of)};
+}
+
+IntInterval IntInterval::mul(const IntInterval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  bool of = false;
+  const std::int64_t c[4] = {
+      sat_mul(lo, o.lo, &of), sat_mul(lo, o.hi, &of),
+      sat_mul(hi, o.lo, &of), sat_mul(hi, o.hi, &of)};
+  IntInterval r{c[0], c[0]};
+  for (int i = 1; i < 4; ++i) {
+    if (c[i] < r.lo) r.lo = c[i];
+    if (c[i] > r.hi) r.hi = c[i];
+  }
+  return r;
+}
+
+IntInterval IntInterval::div(const IntInterval& o) const {
+  if (is_bottom() || o.is_bottom()) return {};
+  // A divisor interval containing zero makes the quotient unknowable
+  // here (the div-by-zero rule reports separately).
+  if (o.contains(0)) return top();
+  const std::int64_t c[4] = {lo / o.lo, lo / o.hi, hi / o.lo, hi / o.hi};
+  IntInterval r{c[0], c[0]};
+  for (int i = 1; i < 4; ++i) {
+    if (c[i] < r.lo) r.lo = c[i];
+    if (c[i] > r.hi) r.hi = c[i];
+  }
+  return r;
+}
+
+IntInterval IntInterval::refine_lt(std::int64_t k) const {
+  if (is_bottom() || k == kMin) return {};
+  return {lo, hi < k - 1 ? hi : k - 1};
+}
+
+IntInterval IntInterval::refine_le(std::int64_t k) const {
+  if (is_bottom()) return {};
+  return {lo, hi < k ? hi : k};
+}
+
+IntInterval IntInterval::refine_gt(std::int64_t k) const {
+  if (is_bottom() || k == kMax) return {};
+  return {lo > k + 1 ? lo : k + 1, hi};
+}
+
+IntInterval IntInterval::refine_ge(std::int64_t k) const {
+  if (is_bottom()) return {};
+  return {lo > k ? lo : k, hi};
+}
+
+IntInterval IntInterval::refine_eq(std::int64_t k) const {
+  if (!contains(k)) return {};
+  return {k, k};
+}
+
+IntInterval IntInterval::refine_ne(std::int64_t k) const {
+  if (is_bottom()) return {};
+  // Only exact-endpoint exclusion is representable in an interval.
+  IntInterval r = *this;
+  if (r.lo == k && r.lo < r.hi) ++r.lo;
+  if (r.hi == k && r.lo < r.hi) --r.hi;
+  if (r.lo == k && r.hi == k) return {};
+  return r;
+}
+
+bool mul_may_overflow(const IntInterval& a, const IntInterval& b) {
+  if (a.is_bottom() || b.is_bottom()) return false;
+  bool of = false;
+  sat_mul(a.lo, b.lo, &of);
+  sat_mul(a.lo, b.hi, &of);
+  sat_mul(a.hi, b.lo, &of);
+  sat_mul(a.hi, b.hi, &of);
+  return of;
+}
+
+bool add_may_overflow(const IntInterval& a, const IntInterval& b) {
+  if (a.is_bottom() || b.is_bottom()) return false;
+  bool of = false;
+  sat_add(a.lo, b.lo, &of);
+  sat_add(a.hi, b.hi, &of);
+  return of;
+}
+
+}  // namespace quicsteps::analyze

@@ -8,6 +8,7 @@
 #include "baseline.hpp"
 #include "cache.hpp"
 #include "callgraph.hpp"
+#include "cfg.hpp"
 #include "dataflow.hpp"
 #include "symbols.hpp"
 
@@ -44,9 +45,13 @@ AnalysisResult run_analysis(const Options& options) {
   if (paths.empty()) {
     paths.push_back(root + "/src");
     // Self-hosting: the analyzer's own sources are part of the default
-    // scan (fixture trees under testdata/ are skipped by build_model).
-    const std::string self = root + "/tools/analyze";
-    if (std::filesystem::exists(self)) paths.push_back(self);
+    // scan (fixture trees under testdata/ are skipped by build_model),
+    // and so are the bench drivers and examples — they exercise the same
+    // APIs the protocols and lifetime rules guard.
+    for (const char* extra : {"/tools/analyze", "/bench", "/examples"}) {
+      const std::string dir = root + extra;
+      if (std::filesystem::exists(dir)) paths.push_back(dir);
+    }
   }
 
   TokenCache cache(options.cache_dir);
@@ -67,10 +72,14 @@ AnalysisResult run_analysis(const Options& options) {
   const bool want_perf = family_enabled(options, "perf");
   const bool want_concurrency = family_enabled(options, "concurrency");
   const bool want_determinism = family_enabled(options, "determinism");
+  const bool want_units = family_enabled(options, "units");
+  const bool want_lifetime = family_enabled(options, "lifetime");
+  const bool want_protocol = family_enabled(options, "protocol");
   LayerManifest manifest;
   std::string manifest_text;
   bool have_manifest = false;
-  if (want_layering || want_perf || want_concurrency) {
+  if (want_layering || want_perf || want_concurrency || want_lifetime ||
+      want_protocol) {
     std::string layers_path = options.layers_file.empty()
                                   ? root + "/tools/analyze/layers.json"
                                   : options.layers_file;
@@ -121,16 +130,26 @@ AnalysisResult run_analysis(const Options& options) {
     SymbolIndex index;
     CallGraph graph;
     Dataflow flow;
+    CfgIndex cfgs;
     SemanticModel sem;
+    // The flow-sensitive families (lifetime, interval units, typestate)
+    // additionally need per-callable CFGs.
+    const bool want_flow =
+        (want_lifetime && have_manifest) || (want_protocol && have_manifest) ||
+        want_units;
     const bool want_semantic = (want_perf && have_manifest) ||
                                (want_concurrency && have_manifest) ||
-                               want_determinism;
+                               want_determinism || want_flow;
     if (want_semantic) {
       index = build_symbol_index(model);
       graph =
           build_call_graph(model, index, have_manifest ? &manifest : nullptr);
       flow = build_dataflow(model, index);
       sem = {&index, &graph, &flow};
+      if (want_flow) {
+        cfgs = build_cfg_index(model, index);
+        sem.cfgs = &cfgs;
+      }
     }
     if (want_perf && have_manifest) {
       run_perf_rules(model, manifest, sem, &findings);
@@ -138,7 +157,16 @@ AnalysisResult run_analysis(const Options& options) {
     if (want_concurrency && have_manifest) {
       run_concurrency_rules(model, manifest, sem, &findings);
     }
-    if (family_enabled(options, "units")) run_units_rules(model, &findings);
+    if (want_units) {
+      run_units_rules(model, &findings);
+      run_interval_rules(model, sem, &findings);
+    }
+    if (want_lifetime && have_manifest) {
+      run_lifetime_rules(model, manifest, sem, &findings);
+    }
+    if (want_protocol && have_manifest) {
+      run_typestate_rules(model, manifest, sem, &findings);
+    }
     if (want_determinism) {
       run_determinism_rules(model, &findings);
       run_taint_rules(model, sem, &findings);

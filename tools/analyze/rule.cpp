@@ -56,6 +56,40 @@ const std::vector<RuleInfo>& all_rules() {
        "parameter, or return value into an exporter/hash/report sink; the "
        "order is allocator-dependent and would leak into published "
        "artifacts. Use an ordered container or sort before the sink."},
+      {"lifetime/use-after-recycle",
+       "A reference or pointer borrowed from a generation-checked "
+       "container (tools/analyze/layers.json generation_checked, e.g. "
+       "net::PacketSlab::peek) is used on a CFG path after a call that may "
+       "allocate or recycle slots (put/take) — the static twin of the "
+       "QUICSTEPS_AUDIT stale-ref generation check. Re-borrow after the "
+       "mutation, or copy the packet out first."},
+      {"lifetime/ref-escape",
+       "A reference or pointer borrowed from a generation-checked "
+       "container escapes into a lambda or deferred callback "
+       "(schedule_*/post_drain_at): the callback runs after slots may have "
+       "recycled, so the borrow cannot outlive the statement. Capture the "
+       "slab ref (the ticket) instead and re-borrow inside the callback."},
+      {"units/interval-overflow",
+       "Interval analysis proves this arithmetic can exceed the int64 "
+       "range BEFORE the value reaches sim::Time/Duration's saturating "
+       "sentinel arithmetic — the multiply/add itself is UB. Reorder to "
+       "divide first, or route through saturating_add_ns."},
+      {"units/div-by-zero-rate",
+       "Division by a rate/divisor whose interval contains zero on some "
+       "CFG path (no `> 0` / `!= 0` / is_zero() guard dominates the "
+       "division). A zero rate is a valid 'link down' configuration; guard "
+       "the division."},
+      {"units/lossy-narrowing",
+       "A nanosecond-magnitude value (.ns()/.us() unwrap or an int64 whose "
+       "interval exceeds the destination type) is narrowed into "
+       "int/int32_t/uint32_t/float — wraps after ~2.1 s of nanoseconds. "
+       "Keep the int64_t (fix-it attached)."},
+      {"protocol/typestate",
+       "A declared API protocol (tools/analyze/layers.json typestate) is "
+       "violated along some CFG path: e.g. EventLoop::run() on a loop no "
+       "path ever scheduled, TraceBus publish without a null/enabled check "
+       "dominating it, or a MultiFlowConfig mutated after run_flows() "
+       "consumed it."},
   };
   return kRules;
 }

@@ -52,6 +52,56 @@ bool known_rule(const std::string& rule_id);
 /// Family prefix of an ID ("determinism/wall-clock" -> "determinism").
 std::string rule_family(const std::string& rule_id);
 
+/// A generation-checked container type (net::PacketSlab and friends):
+/// `borrow` methods hand out references/pointers into its storage that
+/// every `invalidate` method (allocation or slot recycling) may kill.
+/// lifetime/* checks the static twin of the runtime generation audit.
+struct GenerationChecked {
+  std::string type;                    // matched as a type_text substring
+  std::vector<std::string> borrow;     // e.g. {"peek"}
+  std::vector<std::string> invalidate; // e.g. {"put", "take"}
+};
+
+/// One protocol event a typestate machine reacts to:
+///   method:NAME   var.NAME(...) / var->NAME(...)
+///   arg:NAME      var passed in the argument list of a call to NAME
+///   cond-true     a branch condition on var taken true (null/enabled check)
+///   cond-false    the same condition taken false
+///   mutate        member assignment or a mutating member call on var
+/// A whole-object reassignment (`var = ...`) always resets to `start`.
+struct TypestateTransition {
+  std::string event;
+  std::string from;  // empty = any state
+  std::string to;
+};
+
+/// A checked obligation: when `event` fires on a variable, the solved
+/// state set at that point must not (may-mode: contain any / must-mode:
+/// consist only of) the forbidden states.
+struct TypestateRequire {
+  std::string event;
+  std::vector<std::string> forbid;
+  bool must = false;  // false = may (any forbidden state errs)
+  std::string message;
+};
+
+/// A per-type protocol state machine, declared in layers.json and checked
+/// along all CFG paths by protocol/typestate.
+struct TypestateProtocol {
+  std::string name;
+  std::string type;   // matched as a type_text substring
+  std::string start;
+  std::vector<std::string> states;  // start must be listed
+  std::vector<TypestateTransition> transitions;
+  std::vector<TypestateRequire> checks;
+  /// Track only pointer-typed variables (the null-check protocols); when
+  /// false, only value-typed ones (construction fixes the start state).
+  bool pointer_only = false;
+  /// Parameters enter in this state; empty = parameters are not tracked
+  /// (their history belongs to the caller).
+  std::string param_start;
+};
+
 /// The layering manifest: which layer may include which, plus the
 /// hot-path file tags the perf/* rules key off.
 struct LayerManifest {
@@ -68,6 +118,10 @@ struct LayerManifest {
   /// reachability walk here. Defaults to {"parallel_for"} when the
   /// manifest omits the key.
   std::vector<std::string> parallel_entries;
+  /// Generation-checked containers for the lifetime/* family.
+  std::vector<GenerationChecked> generation_checked;
+  /// Typestate protocols for protocol/typestate.
+  std::vector<TypestateProtocol> typestate;
 
   bool declared(const std::string& layer) const {
     for (const auto& [name, deps] : allow) {
@@ -105,14 +159,16 @@ bool load_layer_manifest(const std::string& json_text, LayerManifest* out,
 struct SymbolIndex;
 struct CallGraph;
 struct Dataflow;
+struct CfgIndex;
 
 /// The semantic model the interprocedural families share; built once per
 /// run by the analyzer when any of them is enabled (symbols.hpp,
-/// callgraph.hpp, dataflow.hpp).
+/// callgraph.hpp, dataflow.hpp, cfg.hpp).
 struct SemanticModel {
   const SymbolIndex* index = nullptr;
   const CallGraph* graph = nullptr;
   const Dataflow* flow = nullptr;
+  const CfgIndex* cfgs = nullptr;
 };
 
 // Rule family entry points. Each appends findings for every file in the
@@ -129,5 +185,12 @@ void run_concurrency_rules(const Model& model, const LayerManifest& manifest,
                            std::vector<Finding>* out);
 void run_taint_rules(const Model& model, const SemanticModel& sem,
                      std::vector<Finding>* out);
+void run_lifetime_rules(const Model& model, const LayerManifest& manifest,
+                        const SemanticModel& sem, std::vector<Finding>* out);
+void run_interval_rules(const Model& model, const SemanticModel& sem,
+                        std::vector<Finding>* out);
+void run_typestate_rules(const Model& model, const LayerManifest& manifest,
+                         const SemanticModel& sem,
+                         std::vector<Finding>* out);
 
 }  // namespace quicsteps::analyze

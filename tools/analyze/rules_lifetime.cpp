@@ -1,0 +1,417 @@
+// lifetime/* — flow-sensitive slab-handle invalidation.
+//
+// The runtime half of this contract lives in net/packet_slab.hpp: every
+// PacketRef carries a generation tag and QUICSTEPS_AUDIT builds abort on a
+// stale deref. This file is the static twin. A reference or pointer local
+// initialized from a borrow method of a generation-checked container
+// (manifest `generation_checked`, e.g. PacketSlab::peek) is tracked
+// through the callable's CFG with a three-point lattice
+//
+//   kNone < kBorrowed < kDead
+//
+// joined pointwise (max) at merges. A call to an invalidate method on the
+// same container object kills the borrow (kDead); so does a call to a
+// free function that transitively reaches an invalidate method (call-graph
+// closure) while a matching container is in scope. Any later read of a
+// dead handle is lifetime/use-after-recycle on that path.
+//
+// lifetime/ref-escape is the deferred variant: a live borrow named inside
+// a lambda that is handed to a scheduling entry point (schedule_*, or
+// assigned into a std::function) outlives the statement, and slots may
+// recycle before the callback runs.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "absint.hpp"
+#include "callgraph.hpp"
+#include "cfg.hpp"
+#include "dataflow.hpp"
+#include "rule.hpp"
+#include "symbols.hpp"
+
+namespace quicsteps::analyze {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdentifier; }
+
+/// Whole-word match of `type` inside a joined type_text ("net::PacketSlab&"
+/// mentions "PacketSlab"; "PacketSlabPool" does not).
+bool type_mentions(const std::string& text, const std::string& type) {
+  std::size_t at = 0;
+  while ((at = text.find(type, at)) != std::string::npos) {
+    const bool l_ok =
+        at == 0 || (!std::isalnum(static_cast<unsigned char>(text[at - 1])) &&
+                    text[at - 1] != '_');
+    const std::size_t after = at + type.size();
+    const bool r_ok = after >= text.size() ||
+                      (!std::isalnum(static_cast<unsigned char>(text[after])) &&
+                       text[after] != '_');
+    if (l_ok && r_ok) return true;
+    at = after;
+  }
+  return false;
+}
+
+bool is_ref_or_ptr(const std::string& type_text) {
+  return type_text.find('&') != std::string::npos ||
+         type_text.find('*') != std::string::npos;
+}
+
+bool in_list(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// Names of the deferral sinks a lambda can escape into. Matches the
+/// EventLoop surface; assignment into a std::function local is handled
+/// separately.
+bool deferred_sink(const std::string& name) {
+  return name.rfind("schedule", 0) == 0 || name == "post_drain_at" ||
+         name == "defer" || name == "async";
+}
+
+enum : std::uint8_t { kNone = 0, kBorrowed = 1, kDead = 2 };
+
+struct BorrowAt {
+  std::size_t local = npos;
+  std::string container;  // receiver spelling at the borrow site
+};
+
+/// Per-callable analysis context + the absint Domain.
+struct LifetimeDomain {
+  using State = std::vector<std::uint8_t>;  // per local, kNone/kBorrowed/kDead
+
+  const std::vector<Token>* toks = nullptr;
+  const CallableDataflow* dfc = nullptr;
+  // def token -> borrow binding (RHS calls container.borrow(...)).
+  std::map<std::size_t, BorrowAt> borrow_defs;
+  // def token -> local reset to kNone (reassigned from a non-borrow RHS).
+  std::map<std::size_t, std::size_t> plain_defs;
+  // Container spelling each local last borrowed from (message + matching).
+  std::vector<std::string> container_of;
+  // Locals (by index) whose spelling names a generation-checked container.
+  std::set<std::string> slab_names;
+  // Free-function call sites (token of the name) that transitively reach
+  // an invalidate method; kills every live borrow.
+  std::set<std::size_t> killer_sites;
+  // invalidate-method names per manifest, flattened.
+  std::set<std::string> invalidate_names;
+
+  bool reporting = false;
+  const SourceFile* file = nullptr;
+  std::vector<Finding>* out = nullptr;
+  std::set<std::size_t> reported;  // token -> already reported
+
+  State entry_state() const {
+    return State(dfc->locals.size(), kNone);
+  }
+  bool join(State* into, const State& s) const {
+    bool changed = false;
+    for (std::size_t i = 0; i < into->size() && i < s.size(); ++i) {
+      if (s[i] > (*into)[i]) {
+        (*into)[i] = s[i];
+        changed = true;
+      }
+    }
+    return changed;
+  }
+  void widen(State*, const State&) const {}  // finite lattice
+
+  const Token& tok(std::size_t i) const { return (*toks)[i]; }
+
+  void report(const char* rule, std::size_t at, std::string msg) {
+    if (!reporting || !reported.insert(at).second) return;
+    Finding f;
+    f.rule_id = rule;
+    f.file = file->rel_path;
+    f.line = tok(at).line;
+    f.col = tok(at).col;
+    f.message = std::move(msg);
+    out->push_back(std::move(f));
+  }
+
+  /// A bare (non-member-qualified) mention of a tracked local.
+  bool bare_mention(std::size_t i, std::size_t begin) const {
+    if (!is_ident(tok(i))) return false;
+    if (i > begin && (tok(i - 1).is_punct(".") || tok(i - 1).is_punct("->") ||
+                      tok(i - 1).is_punct("::"))) {
+      return false;
+    }
+    return true;
+  }
+
+  void transfer_range(std::size_t begin, std::size_t end, State* st) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // Borrow / reassignment defs recorded up front.
+      auto b = borrow_defs.find(i);
+      if (b != borrow_defs.end()) {
+        (*st)[b->second.local] = kBorrowed;
+        container_of[b->second.local] = b->second.container;
+        continue;
+      }
+      auto p = plain_defs.find(i);
+      if (p != plain_defs.end()) {
+        (*st)[p->second] = kNone;
+        continue;
+      }
+      if (!bare_mention(i, begin)) continue;
+      const std::string& name = tok(i).text;
+      // Invalidate call on a container object: `slab.put(..)`,
+      // `slab_->take(..)`. Kills borrows from the same spelling.
+      if (i + 3 < end &&
+          (tok(i + 1).is_punct(".") || tok(i + 1).is_punct("->")) &&
+          is_ident(tok(i + 2)) && invalidate_names.count(tok(i + 2).text) &&
+          i + 3 < (*toks).size() && tok(i + 3).is_punct("(")) {
+        for (std::size_t l = 0; l < st->size(); ++l) {
+          if ((*st)[l] == kBorrowed && container_of[l] == name) {
+            (*st)[l] = kDead;
+          }
+        }
+        continue;
+      }
+      // Interprocedural kill: free-function call that reaches put/take.
+      if (killer_sites.count(i)) {
+        for (auto& s : *st) {
+          if (s == kBorrowed) s = kDead;
+        }
+        continue;
+      }
+      // Use of a tracked local.
+      const std::size_t l = dfc->find(name);
+      if (l == npos || l >= st->size()) continue;
+      if ((*st)[l] == kDead) {
+        report("lifetime/use-after-recycle", i,
+               "'" + name + "' borrows from generation-checked container '" +
+                   container_of[l] +
+                   "', and a path to here calls an allocate/recycle method "
+                   "after the borrow — the slot may have been reused. "
+                   "Re-borrow after the mutation or copy the value out "
+                   "first.");
+      }
+    }
+  }
+
+  void transfer_stmt(const CfgStmt& s, State* st) {
+    transfer_range(s.begin, s.end, st);
+  }
+  void transfer_cond(const CfgStmt& s, bool, State* st) {
+    transfer_range(s.begin, s.end, st);
+  }
+};
+
+}  // namespace
+
+void run_lifetime_rules(const Model& model, const LayerManifest& manifest,
+                        const SemanticModel& sem, std::vector<Finding>* out) {
+  if (manifest.generation_checked.empty() || sem.cfgs == nullptr ||
+      sem.flow == nullptr || sem.index == nullptr) {
+    return;
+  }
+  const SymbolIndex& index = *sem.index;
+
+  std::set<std::string> invalidate_names, borrow_names;
+  for (const auto& gc : manifest.generation_checked) {
+    for (const auto& m : gc.invalidate) invalidate_names.insert(m);
+    for (const auto& m : gc.borrow) borrow_names.insert(m);
+  }
+
+  // Call-graph closure: callables that may allocate/recycle. Seeds are the
+  // invalidate methods themselves (matched by name + owning type in the
+  // qualified name); the tag propagates callee -> caller to a fixpoint.
+  std::vector<bool> may_invalidate(index.symbols.size(), false);
+  for (std::size_t s = 0; s < index.symbols.size(); ++s) {
+    const Symbol& sym = index.symbols[s];
+    if (!sym.is_callable()) continue;
+    for (const auto& gc : manifest.generation_checked) {
+      if (in_list(gc.invalidate, sym.name) &&
+          type_mentions(sym.qual_name, gc.type)) {
+        may_invalidate[s] = true;
+      }
+    }
+  }
+  if (sem.graph != nullptr) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const CallSite& site : sem.graph->sites) {
+        if (site.caller == npos || may_invalidate[site.caller]) continue;
+        for (const std::size_t callee : site.callees) {
+          if (may_invalidate[callee]) {
+            may_invalidate[site.caller] = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  for (const Cfg& cfg : sem.cfgs->cfgs) {
+    const Symbol& sym = index.symbols[cfg.symbol];
+    const CallableDataflow* dfc = sem.flow->for_symbol(cfg.symbol);
+    if (dfc == nullptr || sym.file >= model.files.size()) continue;
+    const SourceFile& sf = model.files[sym.file];
+    const std::vector<Token>& toks = sf.lex.tokens;
+
+    // Resolve the declared type of a receiver spelling: a local first,
+    // then a field/global with that name (same file preferred).
+    auto receiver_type = [&](const std::string& name) -> std::string {
+      const std::size_t l = dfc->find(name);
+      if (l != npos) return dfc->locals[l].type_text;
+      std::string any;
+      for (const Symbol& v : index.symbols) {
+        if (v.kind != Symbol::Kind::kField &&
+            v.kind != Symbol::Kind::kGlobal) {
+          continue;
+        }
+        if (v.name != name) continue;
+        if (v.file == sym.file) return v.type_text;
+        if (any.empty()) any = v.type_text;
+      }
+      return any;
+    };
+    auto is_slab = [&](const std::string& name) {
+      const std::string t = receiver_type(name);
+      for (const auto& gc : manifest.generation_checked) {
+        if (type_mentions(t, gc.type)) return true;
+      }
+      return false;
+    };
+
+    LifetimeDomain dom;
+    dom.toks = &toks;
+    dom.dfc = dfc;
+    dom.file = &sf;
+    dom.out = out;
+    dom.invalidate_names = invalidate_names;
+    dom.container_of.assign(dfc->locals.size(), "");
+
+    // Pre-scan defs: which ones bind a borrow, which reset the local.
+    bool any_borrow = false;
+    for (std::size_t l = 0; l < dfc->locals.size(); ++l) {
+      const Local& local = dfc->locals[l];
+      if (!is_ref_or_ptr(local.type_text)) continue;
+      for (const Def& d : local.defs) {
+        BorrowAt ba;
+        for (std::size_t k = d.rhs_begin;
+             k + 3 < d.rhs_end && k + 3 < toks.size(); ++k) {
+          if (is_ident(toks[k]) &&
+              (toks[k + 1].is_punct(".") || toks[k + 1].is_punct("->")) &&
+              is_ident(toks[k + 2]) && borrow_names.count(toks[k + 2].text) &&
+              toks[k + 3].is_punct("(") && is_slab(toks[k].text)) {
+            ba.local = l;
+            ba.container = toks[k].text;
+            break;
+          }
+        }
+        if (ba.local != npos) {
+          dom.borrow_defs[d.tok] = ba;
+          any_borrow = true;
+        } else {
+          dom.plain_defs[d.tok] = l;
+        }
+      }
+    }
+    if (!any_borrow) continue;  // nothing to track in this callable
+
+    // Free-function call sites reaching an invalidate method, with a
+    // container spelling in their argument list (passing the slab along).
+    if (sem.graph != nullptr) {
+      for (const CallSite& site : sem.graph->sites) {
+        if (site.caller != cfg.symbol) continue;
+        if (site.tok > 0 && (toks[site.tok - 1].is_punct(".") ||
+                             toks[site.tok - 1].is_punct("->"))) {
+          continue;  // member calls are handled by receiver matching
+        }
+        bool reaches = false;
+        for (const std::size_t callee : site.callees) {
+          if (may_invalidate[callee]) reaches = true;
+        }
+        if (!reaches) continue;
+        for (std::size_t a = site.args_begin; a < site.args_end; ++a) {
+          if (is_ident(toks[a]) && is_slab(toks[a].text)) {
+            dom.killer_sites.insert(site.tok);
+            break;
+          }
+        }
+      }
+    }
+
+    // Solve silently, then replay each reachable block once to report.
+    auto solved = solve_absint(cfg, dom);
+    dom.reporting = true;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      if (!solved.reachable[b]) continue;
+      LifetimeDomain::State st = solved.in[b];
+      for (const CfgStmt& s : cfg.blocks[b].stmts) {
+        dom.transfer_range(s.begin, s.end, &st);
+        // Escape check: a live borrow named inside a deferred lambda that
+        // starts in this statement.
+        for (std::size_t lam = 0; lam < index.symbols.size(); ++lam) {
+          const Symbol& ls = index.symbols[lam];
+          if (ls.kind != Symbol::Kind::kLambda || ls.parent != cfg.symbol) {
+            continue;
+          }
+          if (ls.cap_begin < s.begin || ls.cap_begin >= s.end) continue;
+          // Deferred? Argument of a schedule-like call, or assigned into a
+          // std::function-typed local.
+          bool deferred = false;
+          if (ls.cap_begin >= 2 && (toks[ls.cap_begin - 1].is_punct("(") ||
+                                    toks[ls.cap_begin - 1].is_punct(","))) {
+            int depth = 0;
+            for (std::size_t k = ls.cap_begin - 1; k > s.begin; --k) {
+              if (toks[k].is_punct(")")) ++depth;
+              if (toks[k].is_punct("(")) {
+                if (depth == 0) {
+                  if (is_ident(toks[k - 1]) && deferred_sink(toks[k - 1].text)) {
+                    deferred = true;
+                  }
+                  break;
+                }
+                --depth;
+              }
+            }
+          } else if (ls.cap_begin >= 1 && toks[ls.cap_begin - 1].is_punct("=")) {
+            for (const auto& [dtok, l] : dom.plain_defs) {
+              if (dtok + 2 == ls.cap_begin &&
+                  dfc->locals[l].type_text.find("function") !=
+                      std::string::npos) {
+                deferred = true;
+              }
+            }
+          }
+          if (!deferred) continue;
+          const std::size_t lam_end =
+              ls.body_end < toks.size() ? ls.body_end : toks.size();
+          for (std::size_t k = ls.cap_begin; k < lam_end; ++k) {
+            if (!is_ident(toks[k])) continue;
+            if (k > 0 && (toks[k - 1].is_punct(".") ||
+                          toks[k - 1].is_punct("->") ||
+                          toks[k - 1].is_punct("::"))) {
+              continue;
+            }
+            const std::size_t l = dfc->find(toks[k].text);
+            if (l == npos || l >= st.size()) continue;
+            if (st[l] == kBorrowed || st[l] == kDead) {
+              dom.report(
+                  "lifetime/ref-escape", k,
+                  "'" + toks[k].text +
+                      "' borrows from generation-checked container '" +
+                      dom.container_of[l] +
+                      "' and escapes into a deferred callback — slots may "
+                      "recycle before it runs. Capture the ref/ticket and "
+                      "re-borrow inside the callback.");
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace quicsteps::analyze

@@ -1,0 +1,410 @@
+// protocol/typestate — data-driven API state machines over the CFG.
+//
+// Protocols are declared in tools/analyze/layers.json (`typestate`): a
+// set of states, transitions keyed by events, and `requires` obligations.
+// The abstract state of each tracked variable is the SET of protocol
+// states it may be in (powerset domain, joined by union at merges), so a
+// branch that schedules on one arm and not the other yields {unscheduled,
+// armed} downstream — exactly what the may/must polarity of a check needs:
+//
+//   may  — error when ANY possible state is forbidden. Used for the
+//          null-check protocols (TraceBus publish): one unchecked path in
+//          is one null deref too many.
+//   must — error when EVERY possible state is forbidden. Used for
+//          "run() on a loop no path ever scheduled" and "mutate after
+//          run_flows": a sweep loop whose back edge joins {building,
+//          frozen} stays silent, straight-line misuse does not.
+//
+// Events (see TypestateTransition in rule.hpp): method:NAME, arg:NAME,
+// cond-true/cond-false (a branch taken on the variable itself — the
+// null/enabled guard), mutate (member assignment or mutating member
+// call), and escape (the variable handed bare into some call — the
+// conservative "a component now holds a reference" transition). A
+// whole-object reassignment resets to the start state.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "absint.hpp"
+#include "cfg.hpp"
+#include "dataflow.hpp"
+#include "rule.hpp"
+#include "symbols.hpp"
+
+namespace quicsteps::analyze {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdentifier; }
+
+bool type_word(const std::string& text, const std::string& w) {
+  std::size_t at = 0;
+  while ((at = text.find(w, at)) != std::string::npos) {
+    const bool l_ok =
+        at == 0 || (!std::isalnum(static_cast<unsigned char>(text[at - 1])) &&
+                    text[at - 1] != '_');
+    const std::size_t after = at + w.size();
+    const bool r_ok = after >= text.size() ||
+                      (!std::isalnum(static_cast<unsigned char>(text[after])) &&
+                       text[after] != '_');
+    if (l_ok && r_ok) return true;
+    at = after;
+  }
+  return false;
+}
+
+/// Container-mutator method names that count as the "mutate" event when
+/// called through a member chain (`cfg.flows.push_back(..)`).
+const std::set<std::string>& mutator_methods() {
+  static const std::set<std::string> kMutators = {
+      "push_back", "emplace_back", "pop_back", "clear",  "resize",
+      "insert",    "erase",        "assign",   "emplace", "reserve"};
+  return kMutators;
+}
+
+struct TrackedVar {
+  std::size_t local = npos;
+  std::size_t proto = npos;  // into manifest.typestate
+};
+
+struct ProtoTables {
+  std::uint16_t start_mask = 0;
+  std::uint16_t param_mask = 0;  // 0 = params not tracked
+  std::map<std::string, std::uint16_t> state_bit;
+};
+
+struct TypestateDomain {
+  using State = std::vector<std::uint16_t>;  // per tracked var, state set
+
+  const std::vector<Token>* toks = nullptr;
+  const CallableDataflow* dfc = nullptr;
+  const std::vector<TypestateProtocol>* protos = nullptr;
+  std::vector<TrackedVar> tracked;
+  std::vector<ProtoTables> tables;      // parallel to *protos
+  std::map<std::string, std::size_t> tracked_by_name;
+  std::map<std::size_t, std::size_t> reassign_defs;  // def tok -> tracked idx
+  std::set<std::size_t> decl_toks;  // tracked decls: not an event
+
+  bool reporting = false;
+  const SourceFile* file = nullptr;
+  std::vector<Finding>* out = nullptr;
+  std::set<std::size_t> reported;
+
+  const Token& tok(std::size_t i) const { return (*toks)[i]; }
+
+  State entry_state() const {
+    State st(tracked.size(), 0);
+    for (std::size_t v = 0; v < tracked.size(); ++v) {
+      const ProtoTables& pt = tables[tracked[v].proto];
+      st[v] = dfc->locals[tracked[v].local].is_param ? pt.param_mask
+                                                     : pt.start_mask;
+    }
+    return st;
+  }
+  bool join(State* into, const State& s) const {
+    bool changed = false;
+    for (std::size_t i = 0; i < into->size() && i < s.size(); ++i) {
+      const std::uint16_t merged = (*into)[i] | s[i];
+      if (merged != (*into)[i]) {
+        (*into)[i] = merged;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+  void widen(State*, const State&) const {}  // finite powerset
+
+  std::uint16_t mask_of(std::size_t proto_idx,
+                        const std::vector<std::string>& states) const {
+    std::uint16_t m = 0;
+    for (const auto& s : states) {
+      auto it = tables[proto_idx].state_bit.find(s);
+      if (it != tables[proto_idx].state_bit.end()) m |= it->second;
+    }
+    return m;
+  }
+
+  std::string show_states(std::size_t proto_idx, std::uint16_t mask) const {
+    std::string out_s;
+    for (const auto& [name, bit] : tables[proto_idx].state_bit) {
+      if ((mask & bit) == 0) continue;
+      if (!out_s.empty()) out_s += "|";
+      out_s += name;
+    }
+    return out_s.empty() ? "<none>" : out_s;
+  }
+
+  void fire(std::size_t v, const std::string& event, std::size_t at,
+            std::uint16_t* mask) {
+    const TypestateProtocol& proto = (*protos)[tracked[v].proto];
+    // Obligations first: the state BEFORE the event is what is checked.
+    for (const TypestateRequire& req : proto.checks) {
+      if (req.event != event) continue;
+      const std::uint16_t forbid = mask_of(tracked[v].proto, req.forbid);
+      const bool bad = req.must ? (*mask != 0 && (*mask & ~forbid) == 0)
+                                : ((*mask & forbid) != 0);
+      if (bad && reporting && reported.insert(at).second) {
+        Finding f;
+        f.rule_id = "protocol/typestate";
+        f.file = file->rel_path;
+        f.line = tok(at).line;
+        f.col = tok(at).col;
+        f.message = "[" + proto.name + "] '" +
+                    dfc->locals[tracked[v].local].name + "' may be " +
+                    show_states(tracked[v].proto, *mask) + " here: " +
+                    req.message;
+        out->push_back(std::move(f));
+      }
+    }
+    // Then transitions, per possible state.
+    std::uint16_t next = 0;
+    for (const auto& [name, bit] : tables[tracked[v].proto].state_bit) {
+      if ((*mask & bit) == 0) continue;
+      bool moved = false;
+      for (const TypestateTransition& t : proto.transitions) {
+        if (t.event != event) continue;
+        if (!t.from.empty() && t.from != name) continue;
+        next |= tables[tracked[v].proto].state_bit.at(t.to);
+        moved = true;
+        break;
+      }
+      if (!moved) next |= bit;
+    }
+    *mask = next;
+  }
+
+  /// Walks a member-access chain starting at the `.`/`->` after position
+  /// i; fires method/mutate events as appropriate.
+  void member_chain(std::size_t v, std::size_t i, std::size_t end,
+                    std::uint16_t* mask) {
+    // First member: a direct call is the method:NAME event.
+    if (i + 3 < end && is_ident(tok(i + 2)) && tok(i + 3).is_punct("(")) {
+      const std::string& m = tok(i + 2).text;
+      fire(v, "method:" + m, i + 2, mask);
+      if (mutator_methods().count(m)) fire(v, "mutate", i + 2, mask);
+      return;
+    }
+    // Deeper chain: `v.a.b...` — mutate when it ends in an assignment or
+    // a mutating container call.
+    std::size_t j = i;
+    while (j + 2 < end && (tok(j + 1).is_punct(".") ||
+                           tok(j + 1).is_punct("->")) &&
+           is_ident(tok(j + 2))) {
+      j += 2;
+      // Skip a subscript: v.flows[i]...
+      while (j + 1 < end && tok(j + 1).is_punct("[")) {
+        int depth = 0;
+        std::size_t k = j + 1;
+        for (; k < end; ++k) {
+          if (tok(k).is_punct("[")) ++depth;
+          if (tok(k).is_punct("]") && --depth == 0) break;
+        }
+        j = k;
+      }
+    }
+    if (j == i) return;
+    if (j + 1 < end && tok(j + 1).is_punct("(") && is_ident(tok(j)) &&
+        mutator_methods().count(tok(j).text)) {
+      fire(v, "mutate", j, mask);
+      return;
+    }
+    // Assignment tail: `= rhs` or compound `+ =` — but not `==`.
+    if (j + 1 < end) {
+      const bool plain_eq = tok(j + 1).is_punct("=") &&
+                            !(j + 2 < end && tok(j + 2).is_punct("="));
+      const bool compound =
+          j + 2 < end && tok(j + 2).is_punct("=") &&
+          (tok(j + 1).is_punct("+") || tok(j + 1).is_punct("-") ||
+           tok(j + 1).is_punct("*") || tok(j + 1).is_punct("/"));
+      if (plain_eq || compound) fire(v, "mutate", j, mask);
+    }
+  }
+
+  /// The callee name owning the innermost open paren around position i,
+  /// or empty when i is not inside a call's argument list.
+  std::string enclosing_call(std::size_t begin, std::size_t i) const {
+    std::vector<std::size_t> opens;
+    for (std::size_t k = begin; k < i; ++k) {
+      if (tok(k).is_punct("(")) opens.push_back(k);
+      if (tok(k).is_punct(")") && !opens.empty()) opens.pop_back();
+    }
+    if (opens.empty()) return "";
+    const std::size_t open = opens.back();
+    if (open > begin && is_ident(tok(open - 1))) return tok(open - 1).text;
+    return "";
+  }
+
+  void transfer_range(std::size_t begin, std::size_t end, State* st) {
+    for (std::size_t i = begin; i < end; ++i) {
+      auto r = reassign_defs.find(i);
+      if (r != reassign_defs.end()) {
+        (*st)[r->second] = tables[tracked[r->second].proto].start_mask;
+        continue;
+      }
+      if (!is_ident(tok(i))) continue;
+      // The variable's own declaration (`sim::EventLoop loop;`) introduces
+      // it in the start state; it is not an arg/escape event.
+      if (decl_toks.count(i) != 0) continue;
+      if (i > begin && (tok(i - 1).is_punct(".") || tok(i - 1).is_punct("->") ||
+                        tok(i - 1).is_punct("::"))) {
+        continue;
+      }
+      auto t = tracked_by_name.find(tok(i).text);
+      if (t == tracked_by_name.end()) continue;
+      const std::size_t v = t->second;
+      if (i + 1 < end &&
+          (tok(i + 1).is_punct(".") || tok(i + 1).is_punct("->"))) {
+        member_chain(v, i, end, &(*st)[v]);
+        continue;
+      }
+      // Whole-object reassignment is handled via reassign_defs above;
+      // a bare mention is an arg/escape event.
+      if (i + 1 < end && tok(i + 1).is_punct("=") &&
+          !(i + 2 < end && tok(i + 2).is_punct("="))) {
+        continue;
+      }
+      const std::string callee = enclosing_call(begin, i);
+      if (!callee.empty()) {
+        fire(v, "arg:" + callee, i, &(*st)[v]);
+      }
+      fire(v, "escape", i, &(*st)[v]);
+    }
+  }
+
+  void transfer_stmt(const CfgStmt& s, State* st) {
+    transfer_range(s.begin, s.end, st);
+  }
+
+  void transfer_cond(const CfgStmt& s, bool branch_true, State* st) {
+    std::size_t b = s.begin, e = s.end;
+    // `v`, `v != nullptr`, `v == nullptr`, `nullptr != v`, ...
+    std::size_t var_tok = npos;
+    bool polarity = true;  // true-branch means "non-null / set"
+    if (e - b == 1 && is_ident(tok(b))) {
+      var_tok = b;
+    } else if (e - b == 2 && tok(b).is_punct("!") && is_ident(tok(b + 1))) {
+      var_tok = b + 1;
+      polarity = false;
+    } else if (e - b == 4 && is_ident(tok(b)) && tok(b + 1).kind ==
+                   TokKind::kPunct && tok(b + 2).is_punct("=") &&
+               is_ident(tok(b + 3)) && tok(b + 3).text == "nullptr") {
+      var_tok = b;
+      polarity = tok(b + 1).is_punct("!");
+    } else if (e - b == 4 && is_ident(tok(b)) && tok(b).text == "nullptr" &&
+               tok(b + 1).kind == TokKind::kPunct &&
+               tok(b + 2).is_punct("=") && is_ident(tok(b + 3))) {
+      var_tok = b + 3;
+      polarity = tok(b + 1).is_punct("!");
+    }
+    if (var_tok != npos) {
+      auto t = tracked_by_name.find(tok(var_tok).text);
+      if (t != tracked_by_name.end()) {
+        const bool taken_set = branch_true == polarity;
+        fire(t->second, taken_set ? "cond-true" : "cond-false", var_tok,
+             &(*st)[t->second]);
+        return;
+      }
+    }
+    // Conditions with method calls on tracked vars (`while (loop.run_one())`)
+    // still fire their method events on both branches.
+    transfer_range(s.begin, s.end, st);
+  }
+};
+
+}  // namespace
+
+void run_typestate_rules(const Model& model, const LayerManifest& manifest,
+                         const SemanticModel& sem,
+                         std::vector<Finding>* out) {
+  if (manifest.typestate.empty() || sem.cfgs == nullptr ||
+      sem.flow == nullptr || sem.index == nullptr) {
+    return;
+  }
+  for (const Cfg& cfg : sem.cfgs->cfgs) {
+    const Symbol& sym = sem.index->symbols[cfg.symbol];
+    const CallableDataflow* dfc = sem.flow->for_symbol(cfg.symbol);
+    if (dfc == nullptr || sym.file >= model.files.size()) continue;
+    const SourceFile& sf = model.files[sym.file];
+
+    TypestateDomain dom;
+    dom.toks = &sf.lex.tokens;
+    dom.dfc = dfc;
+    dom.protos = &manifest.typestate;
+    dom.file = &sf;
+    dom.out = out;
+    dom.tables.resize(manifest.typestate.size());
+    for (std::size_t p = 0; p < manifest.typestate.size(); ++p) {
+      const TypestateProtocol& proto = manifest.typestate[p];
+      ProtoTables& pt = dom.tables[p];
+      std::uint16_t bit = 1;
+      for (const auto& s : proto.states) {
+        pt.state_bit[s] = bit;
+        bit = static_cast<std::uint16_t>(bit << 1);
+      }
+      pt.start_mask = pt.state_bit.count(proto.start)
+                          ? pt.state_bit.at(proto.start)
+                          : 0;
+      pt.param_mask = proto.param_start.empty()
+                          ? 0
+                          : pt.state_bit.at(proto.param_start);
+    }
+
+    for (std::size_t l = 0; l < dfc->locals.size(); ++l) {
+      const Local& local = dfc->locals[l];
+      const bool is_ptr = local.type_text.find('*') != std::string::npos;
+      const bool is_ref = local.type_text.find('&') != std::string::npos;
+      for (std::size_t p = 0; p < manifest.typestate.size(); ++p) {
+        const TypestateProtocol& proto = manifest.typestate[p];
+        if (!type_word(local.type_text, proto.type)) continue;
+        if (proto.pointer_only != is_ptr) continue;
+        if (local.is_param) {
+          if (proto.param_start.empty()) continue;
+        } else if (is_ref) {
+          // A reference local aliases an object whose history we cannot
+          // see; never tracked.
+          continue;
+        }
+        TrackedVar tv;
+        tv.local = l;
+        tv.proto = p;
+        dom.tracked_by_name[local.name] = dom.tracked.size();
+        dom.tracked.push_back(tv);
+        dom.decl_toks.insert(local.decl_tok);
+        break;
+      }
+    }
+    if (dom.tracked.empty()) continue;
+
+    // Whole-object reassignments reset to the start state.
+    for (std::size_t v = 0; v < dom.tracked.size(); ++v) {
+      const Local& local = dfc->locals[dom.tracked[v].local];
+      for (const Def& d : local.defs) {
+        if (d.tok == local.decl_tok) continue;  // decl init = start anyway
+        dom.reassign_defs[d.tok] = v;
+      }
+    }
+
+    auto solved = solve_absint(cfg, dom);
+    dom.reporting = true;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      if (!solved.reachable[b]) continue;
+      TypestateDomain::State st = solved.in[b];
+      const CfgBlock& block = cfg.blocks[b];
+      if (block.is_cond) {
+        // Checks fire on the pre-branch state, so replaying one branch
+        // covers them; the discarded post-state is irrelevant here.
+        if (!block.stmts.empty()) {
+          dom.transfer_cond(block.stmts.front(), true, &st);
+        }
+        continue;
+      }
+      for (const CfgStmt& s : block.stmts) dom.transfer_stmt(s, &st);
+    }
+  }
+}
+
+}  // namespace quicsteps::analyze

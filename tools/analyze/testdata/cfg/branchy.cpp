@@ -1,0 +1,13 @@
+// CFG-builder fixture: short-circuit condition, early return, loop with
+// a back edge. tests/analyze_test.cpp builds the CFG directly and asserts
+// the block structure (condition blocks, loop head, edge counts).
+int classify(int x) {
+  if (x > 0 && x < 10) {
+    return 1;
+  }
+  int acc = 0;
+  for (int i = 0; i < x; ++i) {
+    acc = acc + i;
+  }
+  return acc;
+}

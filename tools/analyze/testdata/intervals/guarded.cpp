@@ -1,0 +1,54 @@
+// Negative fixture for the units/* interval rules: every function here
+// does the same arithmetic as overflow.cpp but through a guard, the
+// saturating helper, or the __int128 escape hatch — all must stay silent.
+#include <cstdint>
+
+namespace fx {
+
+std::int64_t guarded_by_comparison(std::int64_t bits, net::DataRate rate) {
+  if (rate.bps() > 0) {
+    const std::int64_t secs = bits / rate.bps();  // divisor refined [1, max]
+    return secs;
+  }
+  return 0;
+}
+
+std::int64_t guarded_by_is_zero(std::int64_t bits, net::DataRate rate) {
+  if (!rate.is_zero()) {
+    const std::int64_t secs = bits / rate.bps();
+    return secs;
+  }
+  return 0;
+}
+
+std::int64_t saturating_total(sim::Duration a, sim::Duration b) {
+  const std::int64_t t = sim::detail::saturating_add_ns(a.ns(), b.ns());
+  return t;
+}
+
+bool growth_check(net::DataRate bw, net::DataRate full) {
+  // Widened to __int128 before the multiply: cannot overflow int64.
+  if (static_cast<__int128>(bw.bps()) * 4 >=
+      static_cast<__int128>(full.bps()) * 5) {
+    return true;
+  }
+  return false;
+}
+
+std::int64_t widened_counter(std::int64_t n) {
+  // Regression: the loop guard widens acc/i to [k, INT64_MAX], but plain
+  // counters carry no unit provenance — `acc + i` must not be flagged.
+  std::int64_t acc = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc = acc + i;
+  }
+  return acc;
+}
+
+std::int64_t bounded_factory(sim::Duration pad) {
+  const sim::Duration d = sim::Duration::millis(250) + pad;
+  const std::int64_t ms = d.ms();  // fits int64 trivially
+  return ms;
+}
+
+}  // namespace fx

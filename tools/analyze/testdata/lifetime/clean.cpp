@@ -1,0 +1,45 @@
+// Negative fixture for lifetime/*: every borrow here is used only while
+// live, re-borrowed after mutation, or copied out before the recycle —
+// the analyzer must stay silent on this file.
+#include <cstdint>
+
+namespace fx {
+
+struct Packet {
+  std::size_t size_bytes;
+};
+
+struct PacketSlab {
+  Packet store[8];
+  int next = 0;
+  const Packet& peek(int h) { return store[h]; }
+  void put(int h) { next = h; }
+  int take() { return next; }
+};
+
+struct CleanPool {
+  PacketSlab slab;
+
+  std::size_t copy_then_recycle(int h, int dead) {
+    const Packet& pkt = slab.peek(h);
+    const std::size_t n = pkt.size_bytes;  // use while borrowed: fine
+    slab.put(dead);
+    return n;
+  }
+
+  std::size_t reborrow_after_recycle(int h, int dead) {
+    const Packet& first = slab.peek(h);
+    const std::size_t a = first.size_bytes;
+    slab.put(dead);
+    const Packet& fresh = slab.peek(h);    // re-borrow: live again
+    return a + fresh.size_bytes;
+  }
+
+  void value_capture(EventLoop& loop, int h) {
+    const Packet& pkt = slab.peek(h);
+    const std::size_t size = pkt.size_bytes;
+    loop.schedule_after(micros(5), [size] { consume(size); });
+  }
+};
+
+}  // namespace fx

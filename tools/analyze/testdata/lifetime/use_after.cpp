@@ -1,0 +1,52 @@
+// lifetime/* fixture: borrows from a generation-checked container that
+// die on paths through allocate/recycle calls. Self-contained token-level
+// model of the net::PacketSlab surface (layers.json in this tree declares
+// the contract).
+#include <cstdint>
+
+namespace fx {
+
+struct Packet {
+  std::size_t size_bytes;
+};
+
+struct PacketSlab {
+  Packet store[8];
+  int next = 0;
+  const Packet& peek(int h) { return store[h]; }
+  void put(int h) { next = h; }
+  int take() { return next; }
+};
+
+void recycle_helper(PacketSlab& s) { s.take(); }
+
+struct Pool {
+  PacketSlab slab;
+
+  std::size_t use_after_put(int h, int dead) {
+    const Packet& pkt = slab.peek(h);
+    slab.put(dead);       // invalidates every borrow from `slab`
+    return pkt.size_bytes;
+  }
+
+  std::size_t use_after_interproc_kill(PacketSlab& s2, int h) {
+    const Packet& pkt = s2.peek(h);
+    recycle_helper(s2);   // free function reaching take() with the slab
+    return pkt.size_bytes;
+  }
+
+  std::size_t branch_sensitive(int h, int dead, bool flush) {
+    const Packet& pkt = slab.peek(h);
+    if (flush) {
+      slab.put(dead);
+    }
+    return pkt.size_bytes;  // dead on the flush path: still an error
+  }
+
+  void escapes_into_callback(EventLoop& loop, int h) {
+    const Packet& pkt = slab.peek(h);
+    loop.schedule_after(micros(5), [&] { consume(pkt.size_bytes); });
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,51 @@
+// Negative fixture for protocol/typestate: correct use of all three
+// protocols, including the join cases the may/must polarity exists for.
+// The analyzer must stay silent on this file.
+#include <cstdint>
+
+namespace fx {
+
+int scheduled_loop() {
+  sim::EventLoop loop;
+  loop.schedule_after(micros(1), tick);
+  return loop.run();  // armed on every path
+}
+
+int loop_handed_to_component() {
+  sim::EventLoop loop;
+  Driver d(loop);     // escape: the component may schedule
+  return loop.run();
+}
+
+void guarded_publish(TraceBus* bus, SpanEvent e) {
+  if (bus != nullptr) {
+    bus->publish(e);  // dominated by the null check
+  }
+}
+
+void early_return_guard(TraceBus* bus, SpanEvent e) {
+  if (!bus) {
+    return;
+  }
+  bus->publish(e);    // the unchecked path already returned
+}
+
+void mutate_before_run(MultiFlowConfig cfg) {
+  cfg.flows.push_back(make_flow());  // still building
+  run_flows(cfg);
+}
+
+void sweep_loop(MultiFlowConfig cfg) {
+  for (int i = 0; i < 3; ++i) {
+    cfg.flows.push_back(make_flow());  // join {building, frozen}: must-silent
+    run_flows(cfg);
+  }
+}
+
+void rebuilt_config(MultiFlowConfig cfg) {
+  run_flows(cfg);
+  cfg = MultiFlowConfig();           // whole-object reset to building
+  cfg.flows.push_back(make_flow());
+}
+
+}  // namespace fx

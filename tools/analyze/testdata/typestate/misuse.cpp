@@ -1,0 +1,23 @@
+// protocol/typestate fixture: one seeded violation per protocol, on
+// pinned lines. The types are token-level stand-ins for sim::EventLoop,
+// obs::TraceBus and framework::MultiFlowConfig (layers.json in this tree
+// declares the protocols).
+#include <cstdint>
+
+namespace fx {
+
+int run_empty_loop() {
+  sim::EventLoop loop;
+  return loop.run();
+}
+
+void publish_unchecked(TraceBus* bus, SpanEvent e) {
+  bus->publish(e);
+}
+
+void mutate_after_run(MultiFlowConfig cfg) {
+  run_flows(cfg);
+  cfg.flows.push_back(make_flow());
+}
+
+}  // namespace fx

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Diff two quicsteps-analyze SARIF files; fail only on NEW findings.
+
+CI runs the analyzer twice on a pull request — once on the merge base,
+once on the head — and gates on this diff instead of the absolute count,
+so a PR is never blocked by pre-existing findings it did not touch (the
+baseline covers the deliberate ones; this covers everything in between,
+e.g. a rule upgrade that lands new findings across the tree).
+
+Findings are keyed by (ruleId, file, message text) as a multiset — NOT
+by line — so pure line shifts (an unrelated edit above an old finding)
+do not read as new findings. Suppressed results (baseline entries ride
+in SARIF as suppressions) never gate.
+
+Exit codes: 0 = no new findings, 1 = new findings (listed on stdout),
+2 = usage / unreadable input.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load_findings(path):
+    """Multiset of (ruleId, uri, message) for active results, plus a
+    representative location per key for reporting."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            sarif = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"analyze_diff: cannot read {path}: {e}")
+    counts = collections.Counter()
+    where = {}
+    for run in sarif.get("runs", []):
+        for result in run.get("results", []):
+            if any(s.get("status", "accepted") == "accepted"
+                   for s in result.get("suppressions", [])):
+                continue
+            loc = result.get("locations", [{}])[0].get("physicalLocation", {})
+            uri = loc.get("artifactLocation", {}).get("uri", "<unknown>")
+            line = loc.get("region", {}).get("startLine", 0)
+            key = (result.get("ruleId", "<no-rule>"), uri,
+                   result.get("message", {}).get("text", ""))
+            counts[key] += 1
+            where.setdefault(key, line)
+    return counts, where
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base", required=True,
+                        help="SARIF from the merge base")
+    parser.add_argument("--head", required=True,
+                        help="SARIF from the PR head")
+    args = parser.parse_args()
+
+    base, _ = load_findings(args.base)
+    head, head_where = load_findings(args.head)
+
+    new = head - base
+    fixed = base - head
+    for key in sorted(fixed):
+        rule, uri, _ = key
+        print(f"fixed: {uri} [{rule}] x{fixed[key]}")
+    if not new:
+        print(f"analyze_diff: no new findings "
+              f"({sum(head.values())} in head, {sum(base.values())} in base)")
+        return 0
+    for key in sorted(new):
+        rule, uri, message = key
+        line = head_where.get(key, 0)
+        print(f"NEW: {uri}:{line}: [{rule}] {message} (x{new[key]})")
+    print(f"analyze_diff: {sum(new.values())} new finding(s) — fix them or "
+          f"baseline them with a rationale in tools/analyze/baseline.txt")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
