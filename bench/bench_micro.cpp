@@ -158,23 +158,64 @@ net::Packet bench_packet(std::uint64_t id) {
 }
 
 void BM_FqEnqueueDequeue(benchmark::State& state) {
+  // range(0) timestamped packets spread round-robin over range(1) flows.
+  // The flow-scale gate: per-op cost (time / items_per_second) at 10k
+  // flows must stay within 2x of the 100-flow point — the per-flow heaps
+  // plus the lazy-deletion head heap are O(log n) per packet, so the
+  // growth is the log factor and cache misses, not a linear scan.
+  const int packets = static_cast<int>(state.range(0));
+  const int flows = static_cast<int>(state.range(1));
   for (auto _ : state) {
     sim::EventLoop loop;
     kernel::OsModel os({}, sim::Rng(1));
     net::CollectorSink sink;
-    kernel::FqQdisc fq(loop, {}, os, &sink);
-    for (int i = 0; i < state.range(0); ++i) {
+    kernel::FqQdisc fq(loop, {.limit_packets = packets + 1}, os, &sink);
+    for (int i = 0; i < packets; ++i) {
       net::Packet pkt = bench_packet(static_cast<std::uint64_t>(i));
+      pkt.flow = static_cast<std::uint32_t>(1 + i % flows);
       pkt.has_txtime = true;
-      pkt.txtime = sim::Time::zero() + sim::Duration::micros(i * 300);
+      pkt.txtime = sim::Time::zero() + sim::Duration::micros(i * 300 / flows);
       fq.deliver(std::move(pkt));
     }
     loop.run();
     benchmark::DoNotOptimize(sink.packets().size());
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetItemsProcessed(state.iterations() * packets);
 }
-BENCHMARK(BM_FqEnqueueDequeue)->Arg(1000);
+BENCHMARK(BM_FqEnqueueDequeue)
+    ->Args({1000, 1})
+    ->Args({10000, 100})
+    ->Args({10000, 1000})
+    ->Args({10000, 10000});
+
+void BM_FlowTableRegister(benchmark::State& state) {
+  // range(0) routes in a scrambled id order; range(1) selects the
+  // incremental sorted-insert path (0) or the bulk builder (1). The
+  // incremental path memmoves on every out-of-order insert — O(n^2)
+  // worst case — while the bulk build appends and sorts once.
+  const int routes = static_cast<int>(state.range(0));
+  const bool bulk = state.range(1) != 0;
+  net::CollectorSink sink;
+  std::vector<std::uint32_t> ids;
+  ids.reserve(static_cast<std::size_t>(routes));
+  for (int i = 0; i < routes; ++i) {
+    // A fixed odd-stride permutation of [0, routes): deterministic,
+    // uniformly scrambled registration order.
+    ids.push_back(static_cast<std::uint32_t>(
+        10 + (static_cast<std::uint64_t>(i) * 7919) % routes));
+  }
+  for (auto _ : state) {
+    net::FlowTableSink table;
+    if (bulk) table.begin_bulk(ids.size());
+    for (const std::uint32_t id : ids) table.add_route(id, &sink);
+    if (bulk) table.finish_bulk();
+    benchmark::DoNotOptimize(table.route_count());
+  }
+  state.SetItemsProcessed(state.iterations() * routes);
+}
+BENCHMARK(BM_FlowTableRegister)
+    ->Args({10000, 0})
+    ->Args({10000, 1});
 
 void BM_TbfShaping(benchmark::State& state) {
   for (auto _ : state) {
@@ -385,7 +426,13 @@ BENCHMARK(BM_FlowDemuxSinglePass)
     ->Args({100000, 1})
     ->Args({100000, 2})
     ->Args({100000, 4})
-    ->Args({100000, 8});
+    ->Args({100000, 8})
+    // Fabric scale: the rescan baseline is O(N * packets) and unrunnable
+    // here; the single-pass demux stays O(packets) with a burst cache in
+    // front of a log2(N) binary search.
+    ->Args({100000, 100})
+    ->Args({100000, 1000})
+    ->Args({100000, 10000});
 
 void BM_TraceSpanSite(benchmark::State& state) {
   // One instrumented per-packet site with no bus installed: the runtime

@@ -1,0 +1,207 @@
+// Slab flow state: contiguous per-flow records for the N-flow fabric.
+//
+// The fabric used to hold one heap object per flow — a
+// std::vector<std::unique_ptr<SenderHost>>, each host owning its OS model
+// through another unique_ptr. At N = 8 that is invisible; at N = 10,000 it
+// is 20k scattered allocations and a pointer chase per flow touched
+// ("QUIC is not Quick Enough over Fast Internet": per-flow CPU overhead is
+// the bottleneck at scale). FlowStateSlab replaces that graph with two
+// contiguous lanes sharing one slot index:
+//
+//   os lane       kernel::OsModel records, constructed in place — the RNG
+//                 and timing state every per-flow component samples.
+//   record lane   the Record type (framework::SenderHost), constructed in
+//                 place against a borrowed OsModel& from the same slot.
+//
+// Handles are generation-checked like net::PacketSlab refs (low 24 bits
+// slot, high 8 bits generation): a handle that outlives destroy() of its
+// slot trips QUICSTEPS_AUDIT instead of silently aliasing a recycled
+// flow's state (tests/flow_slab_test.cpp pins this, mirroring
+// tests/slab_test.cpp). Capacity is fixed at construction — the flow count
+// of a MultiFlowConfig is known up front — so records never move: borrowed
+// references stay valid for the slab's lifetime or until their slot is
+// destroyed, whichever comes first.
+//
+// Construction is two-phase because the fabric needs it: slot 0's OsModel
+// doubles as the shared path's server-side receiver kernel, so it must
+// exist before the BottleneckPath that the SenderHost constructor then
+// wires against. reserve_slot() hands out the handle, emplace_os() builds
+// the kernel lane, emplace_record() the host lane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "kernel/os_model.hpp"
+#include "sim/random.hpp"
+
+namespace quicsteps::framework {
+
+template <typename Record>
+class FlowStateSlab {
+ public:
+  /// Generation-checked flow ticket; layout identical to
+  /// net::PacketSlab::Ref (low 24 bits slot, high 8 bits generation).
+  using Handle = std::uint32_t;
+
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+
+  explicit FlowStateSlab(std::size_t capacity)
+      : capacity_(capacity),
+        os_lane_(new std::byte[capacity * sizeof(kernel::OsModel)]),
+        record_lane_(new std::byte[capacity * sizeof(Record)]) {
+    QUICSTEPS_AUDIT(capacity <= kSlotMask + 1,
+                    "FlowStateSlab capacity exceeds 2^24 slots");
+    slots_.resize(capacity);
+  }
+
+  ~FlowStateSlab() { clear(); }
+
+  FlowStateSlab(const FlowStateSlab&) = delete;
+  FlowStateSlab& operator=(const FlowStateSlab&) = delete;
+
+  /// Allocates a slot (free-list reuse first, then the next fresh slot)
+  /// and returns its handle. Nothing is constructed yet.
+  Handle reserve_slot() {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      QUICSTEPS_AUDIT(high_water_ < capacity_,
+                      "FlowStateSlab exceeded its fixed capacity");
+      slot = static_cast<std::uint32_t>(high_water_++);
+    }
+    slots_[slot].reserved = true;
+    ++live_;
+    return slot | (static_cast<std::uint32_t>(slots_[slot].gen) << kSlotBits);
+  }
+
+  /// Constructs the slot's OsModel in place on the kernel lane. Exactly
+  /// once per reserved slot, before emplace_record().
+  kernel::OsModel& emplace_os(Handle h, const kernel::OsTimingConfig& config,
+                              sim::Rng rng) {
+    const std::uint32_t slot = checked_slot(h);
+    QUICSTEPS_AUDIT(!slots_[slot].has_os,
+                    "FlowStateSlab slot already holds an OsModel");
+    kernel::OsModel* os =
+        new (os_ptr(slot)) kernel::OsModel(config, std::move(rng));
+    slots_[slot].has_os = true;
+    return *os;
+  }
+
+  /// Constructs the slot's Record in place on the record lane.
+  template <typename... Args>
+  Record& emplace_record(Handle h, Args&&... args) {
+    const std::uint32_t slot = checked_slot(h);
+    QUICSTEPS_AUDIT(slots_[slot].has_os,
+                    "FlowStateSlab record constructed before its OsModel");
+    QUICSTEPS_AUDIT(!slots_[slot].has_record,
+                    "FlowStateSlab slot already holds a record");
+    Record* rec = new (record_ptr(slot)) Record(std::forward<Args>(args)...);
+    slots_[slot].has_record = true;
+    return *rec;
+  }
+
+  /// Generation-checked borrows. A stale handle — its slot destroyed and
+  /// possibly recycled — audits instead of aliasing the new occupant.
+  Record& record(Handle h) { return *record_ptr(checked_live_slot(h)); }
+  const Record& record(Handle h) const {
+    return *record_ptr(checked_live_slot(h));
+  }
+  kernel::OsModel& os(Handle h) {
+    const std::uint32_t slot = checked_slot(h);
+    QUICSTEPS_AUDIT(slots_[slot].has_os,
+                    "FlowStateSlab os() on a slot with no OsModel");
+    return *os_ptr(slot);
+  }
+
+  /// Destroys the slot's record and OsModel (record first — it borrows the
+  /// OS) and recycles the slot. The handle is dead afterwards: the slot's
+  /// generation advances, so stale borrows audit.
+  void destroy(Handle h) {
+    const std::uint32_t slot = checked_slot(h);
+    destroy_slot(slot);
+    free_.push_back(slot);
+  }
+
+  /// Live (reserved) slot count and the fixed capacity.
+  std::size_t size() const { return live_; }
+  std::size_t capacity() const { return capacity_; }
+  bool alive(Handle h) const {
+    const std::uint32_t slot = h & kSlotMask;
+    return slot < slots_.size() && slots_[slot].reserved &&
+           slots_[slot].gen ==
+               static_cast<std::uint8_t>(h >> kSlotBits);
+  }
+
+  /// Destroys every live slot. Generations advance, so all outstanding
+  /// handles go stale.
+  void clear() {
+    for (std::uint32_t slot = 0; slot < high_water_; ++slot) {
+      if (slots_[slot].reserved) destroy_slot(slot);
+    }
+    free_.clear();
+    high_water_ = 0;
+  }
+
+ private:
+  struct SlotState {
+    std::uint8_t gen = 0;
+    bool reserved = false;
+    bool has_os = false;
+    bool has_record = false;
+  };
+
+  kernel::OsModel* os_ptr(std::uint32_t slot) const {
+    return std::launder(reinterpret_cast<kernel::OsModel*>(
+        os_lane_.get() + slot * sizeof(kernel::OsModel)));
+  }
+  Record* record_ptr(std::uint32_t slot) const {
+    return std::launder(reinterpret_cast<Record*>(
+        record_lane_.get() + slot * sizeof(Record)));
+  }
+
+  std::uint32_t checked_slot(Handle h) const {
+    const std::uint32_t slot = h & kSlotMask;
+    QUICSTEPS_AUDIT(slot < slots_.size() && slots_[slot].reserved &&
+                        slots_[slot].gen ==
+                            static_cast<std::uint8_t>(h >> kSlotBits),
+                    "stale FlowStateSlab handle (recycled-slot aliasing)");
+    return slot;
+  }
+  std::uint32_t checked_live_slot(Handle h) const {
+    const std::uint32_t slot = checked_slot(h);
+    QUICSTEPS_AUDIT(slots_[slot].has_record,
+                    "FlowStateSlab record() on a slot with no record");
+    return slot;
+  }
+
+  void destroy_slot(std::uint32_t slot) {
+    if (slots_[slot].has_record) record_ptr(slot)->~Record();
+    if (slots_[slot].has_os) os_ptr(slot)->~OsModel();
+    slots_[slot].has_record = false;
+    slots_[slot].has_os = false;
+    slots_[slot].reserved = false;
+    ++slots_[slot].gen;  // wraps mod 256; outstanding handles go stale
+    --live_;
+  }
+
+  std::size_t capacity_;
+  // Raw lanes: fixed-size, so in-place records never move and borrowed
+  // references survive for the slab's lifetime.
+  std::unique_ptr<std::byte[]> os_lane_;
+  std::unique_ptr<std::byte[]> record_lane_;
+  std::vector<SlotState> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t high_water_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace quicsteps::framework

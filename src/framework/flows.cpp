@@ -1,10 +1,12 @@
 #include "framework/flows.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
 #include "check/audit.hpp"
 #include "check/determinism_hasher.hpp"
+#include "framework/parallel_for.hpp"
 #include "framework/runner.hpp"
 #include "metrics/capture_analysis.hpp"
 #include "obs/path_timeline.hpp"
@@ -28,15 +30,15 @@ std::uint32_t default_flow_id(const FlowSpec& spec, std::size_t index,
 
 SenderHost::SenderHost(sim::EventLoop& loop, const FlowSpec& spec,
                        std::uint32_t flow_id, std::uint64_t seed,
-                       std::unique_ptr<kernel::OsModel> os,
-                       BottleneckPath& path, RunResult& live_result)
+                       kernel::OsModel& os, BottleneckPath& path,
+                       RunResult& live_result)
     : flow_id_(flow_id),
       spec_(spec),
-      os_(std::move(os)),
-      path_(loop, spec_.config.topology, *os_, path.wire_ingress(),
+      os_(os),
+      path_(loop, spec_.config.topology, os_, path.wire_ingress(),
             path.slab()) {
   endpoint_ =
-      make_flow_endpoint(loop, *os_, spec_.config, flow_id_, seed,
+      make_flow_endpoint(loop, os_, spec_.config, flow_id_, seed,
                          path_.egress(), path.ack_ingress(), live_result);
   endpoint_->enable_batched(path.slab());
   // Duplicate flow ids trip the flow table's registration audit.
@@ -46,70 +48,85 @@ SenderHost::SenderHost(sim::EventLoop& loop, const FlowSpec& spec,
 
 Network::Network(sim::EventLoop& loop, const MultiFlowConfig& config,
                  sim::Rng& rng, std::vector<RunResult>& live_results)
-    : loop_(loop), deadline_(sim::Time::zero() + flows_deadline(config)) {
+    : loop_(loop),
+      hosts_(config.flows.size()),
+      deadline_(sim::Time::zero() + flows_deadline(config)) {
   QUICSTEPS_AUDIT(!config.flows.empty(), "Network needs at least one flow");
   QUICSTEPS_AUDIT(live_results.size() == config.flows.size(),
                   "live_results must be sized to the flow count");
   if (config.flows.empty()) return;
+  const std::size_t n = config.flows.size();
 
   // Host 0's kernel also runs the shared server-side ACK receiver — as in
   // the single-flow topology, where the one server OS serves both roles.
-  // Per-host OS salts are 1 + 16*i: host 0 keeps Topology's fork(1) so an
-  // N=1 run is bit-identical to the old wiring, and salts 2-4 stay
-  // reserved for the shared path.
-  auto host0_os = std::make_unique<kernel::OsModel>(
-      config.flows[0].config.topology.server_os, rng.fork(1));
+  // Its slot is reserved and its OS lane built before the path, which
+  // borrows the OsModel&. Per-host OS salts are 1 + 16*i: host 0 keeps
+  // Topology's fork(1) so an N=1 run is bit-identical to the old wiring,
+  // and salts 2-4 stay reserved for the shared path.
+  const FlowStateSlab<SenderHost>::Handle host0 = hosts_.reserve_slot();
+  kernel::OsModel& host0_os = hosts_.emplace_os(
+      host0, config.flows[0].config.topology.server_os, rng.fork(1));
   path_ = std::make_unique<BottleneckPath>(
-      loop, config.flows[0].config.topology, rng, *host0_os);
+      loop, config.flows[0].config.topology, rng, host0_os);
 
-  hosts_.reserve(config.flows.size());
-  for (std::size_t i = 0; i < config.flows.size(); ++i) {
+  // Routes are bulk-registered: reserve, append per host, sort once at
+  // finish (an O(n) insert per flow is O(n^2) at 10k routes).
+  path_->begin_flow_registration(n);
+  handles_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     FlowSpec spec = config.flows[i];
-    const std::uint32_t id = default_flow_id(spec, i, config.flows.size());
-    if (config.flows.size() > 1 && !spec.config.qlog_path.empty()) {
+    const std::uint32_t id = default_flow_id(spec, i, n);
+    if (n > 1 && !spec.config.qlog_path.empty()) {
       // One qlog file per flow, not N writers on one file.
       spec.config.qlog_path += ".flow" + std::to_string(id);
     }
-    auto os = i == 0 ? std::move(host0_os)
-                     : std::make_unique<kernel::OsModel>(
-                           spec.config.topology.server_os,
-                           rng.fork(1 + 16 * static_cast<std::uint64_t>(i)));
-    hosts_.push_back(std::make_unique<SenderHost>(
-        loop, spec, id, config.seed, std::move(os), *path_, live_results[i]));
+    const FlowStateSlab<SenderHost>::Handle handle =
+        i == 0 ? host0 : hosts_.reserve_slot();
+    if (i != 0) {
+      hosts_.emplace_os(handle, spec.config.topology.server_os,
+                        rng.fork(1 + 16 * static_cast<std::uint64_t>(i)));
+    }
+    hosts_.emplace_record(handle, loop, spec, id, config.seed,
+                          hosts_.os(handle), *path_, live_results[i]);
+    handles_.push_back(handle);
   }
+  path_->finish_flow_registration();
 }
 
 void Network::start() {
-  for (auto& host : hosts_) {
-    if (host->start_delay().is_zero()) {
-      host->start();
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
+    SenderHost& flow_host = host(i);
+    if (flow_host.start_delay().is_zero()) {
+      flow_host.start();
       continue;
     }
     // Pointer capture: the host outlives the run loop, but a scheduled
     // callback must not hold a reference to a local by the analyzer's
     // dangling-callback rule (scheduling/ref-capture).
-    SenderHost* delayed = host.get();
-    loop_.schedule_after(host->start_delay(), [delayed] { delayed->start(); });
+    SenderHost* delayed = &flow_host;
+    loop_.schedule_after(flow_host.start_delay(),
+                         [delayed] { delayed->start(); });
   }
 }
 
 void Network::set_trace(obs::TraceBus& bus) {
-  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
     const std::string prefix =
-        hosts_.size() == 1 ? std::string()
-                           : "host" + std::to_string(i) + "/";
-    hosts_[i]->set_trace(bus, prefix);
+        handles_.size() == 1 ? std::string()
+                             : "host" + std::to_string(i) + "/";
+    host(i).set_trace(bus, prefix);
   }
   path_->set_trace(bus);
 }
 
 net::CountersTable Network::counters_table() const {
   net::CountersTable table;
-  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
+    const SenderHost& flow_host = hosts_.record(handles_[i]);
     const std::string prefix =
-        hosts_.size() == 1 ? std::string("qdisc/")
-                           : "host" + std::to_string(i) + "/qdisc/";
-    table.add(prefix + hosts_[i]->qdisc().name(), hosts_[i]->qdisc().counters());
+        handles_.size() == 1 ? std::string("qdisc/")
+                             : "host" + std::to_string(i) + "/qdisc/";
+    table.add(prefix + flow_host.qdisc().name(), flow_host.qdisc().counters());
   }
   path_->add_counters(table);
   return table;
@@ -117,12 +134,21 @@ net::CountersTable Network::counters_table() const {
 
 check::ConservationAuditor Network::conservation_auditor() const {
   check::ConservationAuditor auditor;
-  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
+    const SenderHost& flow_host = hosts_.record(handles_[i]);
     const std::string prefix =
-        hosts_.size() == 1 ? std::string("qdisc/")
-                           : "host" + std::to_string(i) + "/qdisc/";
-    auditor.add_stage(prefix + hosts_[i]->qdisc().name(),
-                      hosts_[i]->qdisc().counters());
+        handles_.size() == 1 ? std::string("qdisc/")
+                             : "host" + std::to_string(i) + "/qdisc/";
+    const kernel::Qdisc& qdisc = flow_host.qdisc();
+    if (qdisc.backlog_packets() >= 0) {
+      // The discipline reports its live depth: audit the full per-stage
+      // identity (in == out + dropped + queued, queued == live depth).
+      const kernel::Qdisc* q = &qdisc;
+      auditor.add_stage(prefix + qdisc.name(), qdisc.counters(),
+                        [q] { return q->backlog_packets(); });
+    } else {
+      auditor.add_stage(prefix + qdisc.name(), qdisc.counters());
+    }
   }
   path_->add_conservation_stages(auditor);
   return auditor;
@@ -153,6 +179,17 @@ sim::Duration flows_deadline(const MultiFlowConfig& config) {
 }
 
 MultiFlowResult run_flows(const MultiFlowConfig& config) {
+  // One shard, inline: the historical serial path. run_flows_sharded is
+  // bit-identical at any plan, so this is a convenience, not a semantics
+  // fork (flows_test asserts the equivalence at N=1000).
+  ShardPlan serial;
+  serial.shard_size = 0;
+  serial.jobs = 1;
+  return run_flows_sharded(config, serial);
+}
+
+MultiFlowResult run_flows_sharded(const MultiFlowConfig& config,
+                                  const ShardPlan& shards) {
   MultiFlowResult result;
   if (config.flows.empty()) return result;
 
@@ -191,8 +228,10 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
   metrics::FlowCaptureDemux demux;
   std::vector<check::DeterminismHasher> hashers(n);
   std::vector<std::shared_ptr<std::vector<net::Packet>>> captures(n);
+  metrics::CaptureAnalyzer::Config analyzer_config;
+  analyzer_config.lite = config.lite_metrics;
   for (std::size_t i = 0; i < n; ++i) {
-    demux.add_flow(net.host(i).flow_id());
+    demux.add_flow(net.host(i).flow_id(), analyzer_config);
     if (config.flows[i].config.keep_capture) {
       captures[i] = std::make_shared<std::vector<net::Packet>>();
     }
@@ -239,8 +278,17 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
   obs::TraceData all_spans;
   if (tracing) all_spans = trace_bus.take();
 
+  // Per-flow extraction. The event core above is inherently serial (one
+  // shared bottleneck, one clock); what shards is this phase — demux
+  // finish, hash digest, fill_result, trace filtering — which touches only
+  // flow-indexed slots. Shard-merge determinism rules (DESIGN.md §14):
+  // every write lands in a slot preassigned to exactly one flow index
+  // (result.flows[i], goodputs[i], demux slot i), shards own disjoint
+  // index ranges, and everything cross-flow (fairness, registry fold)
+  // happens after the join, iterating flows[] in index order. Output is
+  // therefore bit-identical at any shard size and job count.
   std::vector<double> goodputs(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  auto extract_flow = [&](std::size_t i) {
     RunResult& flow_result = result.flows[i];
     net.host(i).endpoint().fill_result(flow_result);
     metrics::CaptureAnalysis analysis = demux.finish(i);
@@ -271,7 +319,15 @@ MultiFlowResult run_flows(const MultiFlowConfig& config) {
       flow_result.trace = std::move(flow_trace);
     }
     goodputs[i] = flow_result.goodput.goodput.mbps();
-  }
+  };
+  const std::size_t shard_size =
+      shards.shard_size == 0 ? n : std::min(shards.shard_size, n);
+  const std::size_t shard_count = (n + shard_size - 1) / shard_size;
+  parallel_for(shard_count, shards.jobs, [&](std::size_t s) {
+    const std::size_t begin = s * shard_size;
+    const std::size_t end = std::min(n, begin + shard_size);
+    for (std::size_t i = begin; i < end; ++i) extract_flow(i);
+  });
   result.fairness = jain_index(goodputs);
   result.bottleneck_drops = net.path().bottleneck_drops();
 

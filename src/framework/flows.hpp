@@ -21,6 +21,7 @@
 
 #include "framework/endpoint.hpp"
 #include "framework/experiment.hpp"
+#include "framework/flow_slab.hpp"
 #include "framework/network.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
@@ -45,6 +46,11 @@ struct MultiFlowConfig {
   /// its own config.
   std::vector<FlowSpec> flows;
   std::uint64_t seed = 1;
+  /// Stream per-flow gap/offset stats through O(1) Welford accumulators
+  /// instead of retaining raw sample vectors (CaptureAnalyzer lite mode).
+  /// Required headroom at fabric scale (10k flows); summaries and
+  /// fractions survive, per-sample CDFs don't.
+  bool lite_metrics = false;
 };
 
 struct MultiFlowResult {
@@ -66,14 +72,14 @@ struct MultiFlowResult {
   obs::MetricsRegistry metrics;
 };
 
-/// One sender host: OS + kernel egress chain + endpoint, attached to the
-/// shared path under `flow_id`.
+/// One sender host: kernel egress chain + endpoint, attached to the shared
+/// path under `flow_id`. The host's OsModel lives on the flow slab's kernel
+/// lane (same slot), not inside the host — `os` must outlive it.
 class SenderHost {
  public:
   SenderHost(sim::EventLoop& loop, const FlowSpec& spec,
-             std::uint32_t flow_id, std::uint64_t seed,
-             std::unique_ptr<kernel::OsModel> os, BottleneckPath& path,
-             RunResult& live_result);
+             std::uint32_t flow_id, std::uint64_t seed, kernel::OsModel& os,
+             BottleneckPath& path, RunResult& live_result);
 
   /// Starts the endpoint (server send loop + application source).
   void start() { endpoint_->start(); }
@@ -81,7 +87,7 @@ class SenderHost {
   std::uint32_t flow_id() const { return flow_id_; }
   sim::Duration start_delay() const { return spec_.start_delay; }
   const ExperimentConfig& config() const { return spec_.config; }
-  kernel::OsModel& os() { return *os_; }
+  kernel::OsModel& os() { return os_; }
   const kernel::Qdisc& qdisc() const { return path_.qdisc(); }
   FlowEndpoint& endpoint() { return *endpoint_; }
   const FlowEndpoint& endpoint() const { return *endpoint_; }
@@ -96,8 +102,11 @@ class SenderHost {
  private:
   std::uint32_t flow_id_;
   FlowSpec spec_;
-  std::unique_ptr<kernel::OsModel> os_;
+  kernel::OsModel& os_;
   SenderPath path_;
+  // The endpoint stays behind one pointer: it is the polymorphic seam
+  // (QUIC stack / ideal server / TCP baseline share no layout). Everything
+  // monomorphic about a flow lives flat on the slab lanes.
   std::unique_ptr<FlowEndpoint> endpoint_;
 };
 
@@ -120,8 +129,8 @@ class Network {
   sim::Time deadline() const { return deadline_; }
 
   BottleneckPath& path() { return *path_; }
-  std::size_t flow_count() const { return hosts_.size(); }
-  SenderHost& host(std::size_t i) { return *hosts_[i]; }
+  std::size_t flow_count() const { return handles_.size(); }
+  SenderHost& host(std::size_t i) { return hosts_.record(handles_[i]); }
 
   /// Per-component counters / conservation stages across all hosts plus
   /// the shared path. Single-host networks use Topology's stage names;
@@ -136,8 +145,14 @@ class Network {
 
  private:
   sim::EventLoop& loop_;
+  // path_ before hosts_: hosts are destroyed first (their NICs point into
+  // the path, their endpoints into the slab's OS lane).
   std::unique_ptr<BottleneckPath> path_;
-  std::vector<std::unique_ptr<SenderHost>> hosts_;
+  // Per-flow state lives flat on the slab (OS lane + host lane, one slot
+  // per flow) instead of N heap objects; handles_ maps flows[] order to
+  // generation-checked slots.
+  FlowStateSlab<SenderHost> hosts_;
+  std::vector<FlowStateSlab<SenderHost>::Handle> handles_;
   sim::Time deadline_;
 };
 
@@ -151,5 +166,27 @@ sim::Duration flows_deadline(const MultiFlowConfig& config);
 /// Runs N competing flows to completion (or deadline) and extracts every
 /// per-flow metric from the shared tap in one pass.
 MultiFlowResult run_flows(const MultiFlowConfig& config);
+
+/// Shard plan for the per-flow phases of a multi-flow run. The event-loop
+/// core is one serial discrete-event simulation either way (the flows
+/// share a bottleneck — their packets interleave in one timeline); what
+/// shards is the embarrassingly parallel per-flow work around it: the
+/// post-run extraction of each flow's reports, hash, capture, and trace
+/// from the shared tap state. Every shard writes preassigned per-flow
+/// slots and the merge reads them back in flows[] order, so a sharded run
+/// is bit-identical to the serial one at any shard size and job count
+/// (tests/flows_test.cpp pins this at N=1000).
+struct ShardPlan {
+  /// Flows per shard (0 = everything in one shard).
+  std::size_t shard_size = 256;
+  /// Worker threads for the sharded phases (<=1 = serial).
+  int jobs = 1;
+};
+
+/// run_flows with the per-flow extraction phase split into deterministic,
+/// merge-stable shards. ParallelRunner::run_flow_shards is the pooled
+/// entry point.
+MultiFlowResult run_flows_sharded(const MultiFlowConfig& config,
+                                  const ShardPlan& shards);
 
 }  // namespace quicsteps::framework

@@ -1,5 +1,6 @@
 #include "framework/network.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "kernel/qdisc_etf.hpp"
@@ -76,8 +77,14 @@ BottleneckPath::BottleneckPath(sim::EventLoop& loop,
                  {.delay = config.path_delay_one_way,
                   .limit_packets = config.netem_limit_packets},
                  rng.fork(4), server_receiver_.get()) {
-  bottleneck_.set_drop_observer(
-      [this](const net::Packet& pkt) { ++drops_by_flow_[pkt.flow]; });
+  bottleneck_.set_drop_observer([this](const net::Packet& pkt) {
+    const std::size_t slot = drop_slot(pkt.flow);
+    if (slot < drop_counts_.size()) {
+      ++drop_counts_[slot];
+    } else {
+      ++stray_drops_;  // handler-mode (default-route) traffic
+    }
+  });
   batched_ = config.batched_datapath;
   if (batched_) {
     // One slab serves the whole shared path (and, via slab(), every
@@ -95,6 +102,31 @@ void BottleneckPath::register_flow(std::uint32_t id, net::PacketSink* data,
                                    net::PacketSink* ack) {
   data_dispatch_.add_route(id, data);
   ack_dispatch_.add_route(id, ack);
+  if (registering_) {
+    drop_flow_ids_.push_back(id);  // sorted at finish_flow_registration
+    return;
+  }
+  const auto pos =
+      std::lower_bound(drop_flow_ids_.begin(), drop_flow_ids_.end(), id);
+  if (pos != drop_flow_ids_.end() && *pos == id) return;  // add_route audited
+  drop_counts_.insert(
+      drop_counts_.begin() + (pos - drop_flow_ids_.begin()), 0);
+  drop_flow_ids_.insert(pos, id);
+}
+
+void BottleneckPath::begin_flow_registration(std::size_t expected) {
+  registering_ = true;
+  data_dispatch_.begin_bulk(expected);
+  ack_dispatch_.begin_bulk(expected);
+  drop_flow_ids_.reserve(drop_flow_ids_.size() + expected);
+}
+
+void BottleneckPath::finish_flow_registration() {
+  registering_ = false;
+  data_dispatch_.finish_bulk();
+  ack_dispatch_.finish_bulk();
+  std::sort(drop_flow_ids_.begin(), drop_flow_ids_.end());
+  drop_counts_.assign(drop_flow_ids_.size(), 0);
 }
 
 void BottleneckPath::set_default_routes(net::PacketSink* data,
@@ -103,9 +135,21 @@ void BottleneckPath::set_default_routes(net::PacketSink* data,
   ack_dispatch_.set_default_route(ack);
 }
 
+std::size_t BottleneckPath::drop_slot(std::uint32_t flow) const {
+  std::size_t lo = 0;
+  std::size_t len = drop_flow_ids_.size();
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    lo += drop_flow_ids_[lo + half - 1] < flow ? half : 0;
+    len -= half;
+  }
+  if (len == 1 && drop_flow_ids_[lo] == flow) return lo;
+  return drop_flow_ids_.size();
+}
+
 std::int64_t BottleneckPath::bottleneck_drops(std::uint32_t flow) const {
-  const auto it = drops_by_flow_.find(flow);
-  return it != drops_by_flow_.end() ? it->second : 0;
+  const std::size_t slot = drop_slot(flow);
+  return slot < drop_counts_.size() ? drop_counts_[slot] : 0;
 }
 
 void BottleneckPath::add_counters(net::CountersTable& table) const {

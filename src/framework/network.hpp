@@ -19,9 +19,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "check/conservation_auditor.hpp"
 #include "framework/topology.hpp"
@@ -91,6 +91,13 @@ class BottleneckPath {
   /// default routes are set.
   void register_flow(std::uint32_t id, net::PacketSink* data,
                      net::PacketSink* ack);
+  /// Bulk registration bracket for fabric-scale flow counts: reserves the
+  /// dispatch tables and the drop-attribution array for `expected` flows,
+  /// turns each register_flow into O(1) appends, and sorts everything once
+  /// at finish. Optional — incremental register_flow keeps working (and is
+  /// what the N<=8 paths use).
+  void begin_flow_registration(std::size_t expected);
+  void finish_flow_registration();
   /// Endpoint-agnostic fallback routes (Topology's handler API).
   void set_default_routes(net::PacketSink* data, net::PacketSink* ack);
 
@@ -145,7 +152,19 @@ class BottleneckPath {
   std::unique_ptr<kernel::UdpReceiver> server_receiver_;
   kernel::NetemQdisc ack_netem_;
 
-  std::map<std::uint32_t, std::int64_t> drops_by_flow_;
+  /// Index of `flow` in drop_flow_ids_, or drop_flow_ids_.size() when the
+  /// id was never registered. Branchless binary search — the drop observer
+  /// runs on the bottleneck's per-drop hot path.
+  std::size_t drop_slot(std::uint32_t flow) const;
+
+  // Per-flow drop attribution, flat instead of a map: ids sorted after
+  // registration, counts aligned by index, strays (ids that were never
+  // registered — Topology's handler mode) in one overflow counter. A drop
+  // costs one branchless search + one increment, not a map node touch.
+  std::vector<std::uint32_t> drop_flow_ids_;
+  std::vector<std::int64_t> drop_counts_;
+  std::int64_t stray_drops_ = 0;
+  bool registering_ = false;
 };
 
 }  // namespace quicsteps::framework

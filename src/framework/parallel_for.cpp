@@ -1,0 +1,51 @@
+#include "framework/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace quicsteps::framework {
+
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& body) {
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(jobs, 0)), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (error == nullptr) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace quicsteps::framework

@@ -29,6 +29,13 @@ class Qdisc : public net::PacketSink, public obs::TraceSource {
   const net::Counters& counters() const { return counters_; }
   void set_downstream(net::PacketSink* sink) { downstream_ = sink; }
 
+  /// Live queue depth in packets for conservation auditing, or -1 when the
+  /// discipline does not report one (only sign/edge invariants then apply
+  /// to its stage). Disciplines that hold packets should override this
+  /// with their actual structure size — the auditor cross-checks it
+  /// against the counter-implied backlog, which catches miscounted holds.
+  virtual std::int64_t backlog_packets() const { return -1; }
+
   /// Observes every dropped packet (after it is counted). A shared
   /// bottleneck uses this to attribute losses to the flows that suffered
   /// them — the per-flow "dropped packets" column of a competing-flow run.

@@ -33,7 +33,9 @@ class FqCodelQdisc final : public Qdisc {
   void deliver(net::Packet pkt) override;
 
   std::int64_t codel_drops() const { return codel_drops_; }
-  std::size_t backlog_packets() const { return queue_.size(); }
+  std::int64_t backlog_packets() const override {
+    return static_cast<std::int64_t>(queue_.size());
+  }
 
  private:
   struct Entry {

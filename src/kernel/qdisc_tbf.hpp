@@ -35,8 +35,9 @@ class TbfQdisc final : public Qdisc {
   void enable_batched(net::PacketSlab* slab);
 
   std::int64_t backlog_bytes() const { return backlog_bytes_; }
-  std::size_t backlog_packets() const {
-    return slab_ != nullptr ? ref_queue_.size() : queue_.size();
+  std::int64_t backlog_packets() const override {
+    return static_cast<std::int64_t>(slab_ != nullptr ? ref_queue_.size()
+                                                      : queue_.size());
   }
 
  private:

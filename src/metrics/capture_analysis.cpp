@@ -1,5 +1,7 @@
 #include "metrics/capture_analysis.hpp"
 
+#include <algorithm>
+
 namespace quicsteps::metrics {
 
 void CaptureAnalyzer::add(const net::Packet& pkt) {
@@ -12,19 +14,27 @@ void CaptureAnalyzer::add(const net::Packet& pkt) {
   // Precision offset (PrecisionAnalyzer semantics: GSO segments beyond the
   // first carry no per-packet expectation and are skipped).
   if (!(pkt.gso_buffer_id != 0 && pkt.gso_segment_index != 0)) {
-    offsets_ms_.push_back(
-        (pkt.wire_time - pkt.expected_send_time).to_millis());
+    const sim::Duration offset = pkt.wire_time - pkt.expected_send_time;
+    if (config_.lite) {
+      offset_stream_.push(offset.to_millis());
+    } else {
+      offsets_ms_.push_back(offset.to_millis());
+    }
   }
 
   if (data_packets_ > 0) {
     const sim::Duration gap = pkt.wire_time - last_time_;
-    gaps_ms_.push_back(gap.to_millis());
+    if (config_.lite) {
+      gap_stream_.push(gap.to_millis());
+    } else {
+      gaps_ms_.push_back(gap.to_millis());
+    }
     if (gap <= config_.back_to_back_bound) ++b2b_gaps_;
     if (gap < sim::Duration::micros(1500)) ++below_1500us_gaps_;
     if (gap < config_.train_threshold) {
       ++current_train_;
     } else {
-      train_lengths_.push_back(current_train_);
+      if (!config_.lite) train_lengths_.push_back(current_train_);
       packets_by_length_[current_train_] +=
           static_cast<std::int64_t>(current_train_);
       current_train_ = 1;
@@ -39,28 +49,36 @@ void CaptureAnalyzer::add(const net::Packet& pkt) {
 CaptureAnalysis CaptureAnalyzer::finish() const {
   CaptureAnalysis out;
 
-  out.gaps.gaps_ms = gaps_ms_;
-  if (!gaps_ms_.empty()) {
-    const double n = static_cast<double>(gaps_ms_.size());
+  const std::size_t gap_count =
+      config_.lite ? gap_stream_.count() : gaps_ms_.size();
+  out.gaps.gaps_ms = gaps_ms_;  // empty in lite mode
+  if (gap_count > 0) {
+    const double n = static_cast<double>(gap_count);
     out.gaps.back_to_back_fraction = static_cast<double>(b2b_gaps_) / n;
     out.gaps.below_1500us_fraction =
         static_cast<double>(below_1500us_gaps_) / n;
-    out.gaps.summary_ms = summarize(out.gaps.gaps_ms);
+    out.gaps.summary_ms =
+        config_.lite ? gap_stream_.summary() : summarize(out.gaps.gaps_ms);
   }
 
-  out.trains.train_lengths = train_lengths_;
+  out.trains.train_lengths = train_lengths_;  // empty in lite mode
   out.trains.packets_by_length = packets_by_length_;
   if (data_packets_ > 0) {
     // Close the open train without disturbing the incremental state.
-    out.trains.train_lengths.push_back(current_train_);
+    if (!config_.lite) out.trains.train_lengths.push_back(current_train_);
     out.trains.packets_by_length[current_train_] +=
         static_cast<std::int64_t>(current_train_);
   }
   out.trains.total_packets = data_packets_;
 
-  out.precision.offsets_ms = offsets_ms_;
-  out.precision.samples = out.precision.offsets_ms.size();
-  out.precision.summary_ms = summarize(out.precision.offsets_ms);
+  out.precision.offsets_ms = offsets_ms_;  // empty in lite mode
+  if (config_.lite) {
+    out.precision.samples = offset_stream_.count();
+    out.precision.summary_ms = offset_stream_.summary();
+  } else {
+    out.precision.samples = out.precision.offsets_ms.size();
+    out.precision.summary_ms = summarize(out.precision.offsets_ms);
+  }
   out.precision.precision_ms = out.precision.summary_ms.stddev;
 
   out.wire_data_packets = data_packets_;
@@ -78,20 +96,37 @@ std::size_t FlowCaptureDemux::add_flow(std::uint32_t flow,
                                        CaptureAnalyzer::Config config) {
   config.flow = flow;
   slots_.push_back(Slot{flow, CaptureAnalyzer(config)});
-  return slots_.size() - 1;
+  const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size() - 1);
+  const auto pos = std::lower_bound(
+      index_.begin(), index_.end(), flow,
+      [](const auto& entry, std::uint32_t id) { return entry.first < id; });
+  if (pos == index_.end() || pos->first != flow) {
+    // Duplicate registrations keep routing to the first slot, as the old
+    // linear scan did.
+    index_.insert(pos, {flow, slot});
+  }
+  return slot;
 }
 
 int FlowCaptureDemux::add(const net::Packet& pkt) {
+  // Burst cache: wire packets arrive in per-flow trains.
   if (last_hit_ < slots_.size() && slots_[last_hit_].flow == pkt.flow) {
     slots_[last_hit_].analyzer.add(pkt);
     return static_cast<int>(last_hit_);
   }
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].flow == pkt.flow) {
-      last_hit_ = i;
-      slots_[i].analyzer.add(pkt);
-      return static_cast<int>(i);
-    }
+  // Branchless binary search over the sorted (flow -> slot) index.
+  std::size_t lo = 0;
+  std::size_t len = index_.size();
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    lo += index_[lo + half - 1].first < pkt.flow ? half : 0;
+    len -= half;
+  }
+  if (len == 1 && index_[lo].first == pkt.flow) {
+    const std::size_t slot = index_[lo].second;
+    last_hit_ = slot;
+    slots_[slot].analyzer.add(pkt);
+    return static_cast<int>(slot);
   }
   return -1;
 }

@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "metrics/gap_analyzer.hpp"
 #include "metrics/precision.hpp"
+#include "metrics/stats.hpp"
 #include "metrics/train_analyzer.hpp"
 #include "net/packet.hpp"
 
@@ -39,6 +41,13 @@ class CaptureAnalyzer {
     sim::Duration back_to_back_bound = sim::Duration::micros(30);
     /// Gaps below this threshold chain packets into a train (TrainAnalyzer).
     sim::Duration train_threshold = sim::Duration::micros(100);
+    /// Lite mode: stream gap/offset samples through Welford accumulators
+    /// instead of retaining them — O(1) memory per flow, for fabric-scale
+    /// (10k-flow) runs where N full sample vectors don't fit. The finished
+    /// reports keep every aggregate (summaries, fractions, train length
+    /// histogram, counts) but their raw sample vectors stay empty, so CDFs
+    /// are unavailable.
+    bool lite = false;
   };
 
   CaptureAnalyzer() : CaptureAnalyzer(Config{}) {}
@@ -57,9 +66,12 @@ class CaptureAnalyzer {
  private:
   Config config_;
 
-  // Incremental state, updated per data packet.
+  // Incremental state, updated per data packet. Lite mode fills the
+  // streaming accumulators instead of the sample vectors.
   std::vector<double> gaps_ms_;
   std::vector<double> offsets_ms_;
+  StreamingSummary gap_stream_;
+  StreamingSummary offset_stream_;
   std::vector<std::size_t> train_lengths_;   // closed trains only
   std::map<std::size_t, std::int64_t> packets_by_length_;
   std::size_t b2b_gaps_ = 0;
@@ -107,8 +119,12 @@ class FlowCaptureDemux {
     CaptureAnalyzer analyzer;
   };
   /// In registration order (slot indices are stable); add() remembers the
-  /// last hit because wire packets arrive in per-flow trains.
+  /// last hit because wire packets arrive in per-flow trains, and falls
+  /// back to a branchless binary search over the sorted (flow -> slot)
+  /// index — the old linear rescan made every cold dispatch O(N), which is
+  /// the difference between O(P) and O(P*N) over a 10k-flow capture.
   std::vector<Slot> slots_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> index_;  // sorted
   std::size_t last_hit_ = 0;
 };
 

@@ -34,6 +34,19 @@ Summary summarize(const std::vector<double>& values) {
   return s;
 }
 
+Summary StreamingSummary::summary() const {
+  Summary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.mean = mean_;
+  s.min = min_;
+  s.max = max_;
+  if (count_ > 1) {
+    s.stddev = std::sqrt(m2_ / static_cast<double>(count_ - 1));
+  }
+  return s;
+}
+
 Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
   std::sort(sorted_.begin(), sorted_.end());
 }

@@ -21,6 +21,38 @@ struct Summary {
 
 Summary summarize(const std::vector<double>& values);
 
+/// Streaming Summary: Welford's algorithm over a sample stream, producing
+/// mean/stddev/min/max/count without retaining the samples. The lite
+/// capture-analysis mode uses this at fabric scale (10k flows cannot each
+/// keep every gap and offset); numerically it is the textbook single-pass
+/// update, not bit-identical to summarize()'s two-pass result, but
+/// deterministic for a given stream.
+class StreamingSummary {
+ public:
+  void push(double x) {
+    ++count_;
+    if (count_ == 1) {
+      min_ = max_ = x;
+    } else {
+      if (x < min_) min_ = x;
+      if (x > max_) max_ = x;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return count_; }
+  Summary summary() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Empirical CDF over a sample set.
 class Cdf {
  public:

@@ -133,6 +133,72 @@ TEST(RunFlows, FourIdenticalFlowsSplitFairly) {
   EXPECT_EQ(attributed_drops, result.bottleneck_drops);
 }
 
+TEST(RunFlows, HundredIdenticalFlowsShareNearPerfectly) {
+  // The fabric-scale fairness golden: 100 homogeneous flows on one
+  // bottleneck must land within a percent of perfect Jain's index, with
+  // every bottleneck drop attributed to exactly one flow. The bottleneck
+  // is capacity-scaled with N (as the flow-scale benches do) — at the
+  // single-flow default the fabric is in 100x overload and congestion
+  // collapse, not fairness, is what gets measured. Lite metrics: at this
+  // N the raw per-flow sample vectors are dead weight.
+  MultiFlowConfig flows;
+  flows.seed = 21;
+  flows.lite_metrics = true;
+  for (int i = 0; i < 100; ++i) {
+    ExperimentConfig config = small_config(StackKind::kIdealQuic, 16 * 1024);
+    config.topology.bottleneck_rate = net::DataRate::megabits_per_second(400);
+    config.topology.bottleneck_buffer_bytes = 2 * 1000 * 1000;
+    flows.flows.push_back(FlowSpec{.config = config});
+  }
+  const MultiFlowResult result = framework::run_flows(flows);
+
+  ASSERT_EQ(result.flows.size(), 100u);
+  std::int64_t attributed_drops = 0;
+  for (const RunResult& flow : result.flows) {
+    EXPECT_GT(flow.goodput.goodput.mbps(), 0.0);
+    attributed_drops += flow.dropped_packets;
+    // Lite mode keeps the aggregates but not the raw samples.
+    EXPECT_TRUE(flow.gaps.gaps_ms.empty());
+  }
+  EXPECT_GE(result.fairness, 0.99);
+  EXPECT_EQ(attributed_drops, result.bottleneck_drops);
+}
+
+TEST(RunFlows, LiteMetricsKeepAggregatesIdentical) {
+  MultiFlowConfig retained;
+  retained.seed = 4;
+  for (int i = 0; i < 2; ++i) {
+    retained.flows.push_back(
+        FlowSpec{.config = small_config(StackKind::kIdealQuic, 128 * 1024)});
+  }
+  MultiFlowConfig lite = retained;
+  lite.lite_metrics = true;
+
+  const MultiFlowResult full = framework::run_flows(retained);
+  const MultiFlowResult streamed = framework::run_flows(lite);
+  ASSERT_EQ(full.flows.size(), streamed.flows.size());
+  for (std::size_t i = 0; i < full.flows.size(); ++i) {
+    const RunResult& a = full.flows[i];
+    const RunResult& b = streamed.flows[i];
+    // The simulation itself is untouched by the metrics mode.
+    EXPECT_EQ(a.wire_hash, b.wire_hash);
+    EXPECT_EQ(a.wire_data_packets, b.wire_data_packets);
+    // Streaming aggregates match the retained ones (Welford vs two-pass:
+    // equal to floating-point noise).
+    EXPECT_EQ(b.gaps.gaps_ms.size(), 0u);
+    ASSERT_EQ(a.gaps.summary_ms.count, b.gaps.summary_ms.count);
+    EXPECT_NEAR(a.gaps.summary_ms.mean, b.gaps.summary_ms.mean, 1e-9);
+    EXPECT_NEAR(a.gaps.summary_ms.stddev, b.gaps.summary_ms.stddev, 1e-9);
+    EXPECT_DOUBLE_EQ(a.gaps.summary_ms.min, b.gaps.summary_ms.min);
+    EXPECT_DOUBLE_EQ(a.gaps.summary_ms.max, b.gaps.summary_ms.max);
+    EXPECT_DOUBLE_EQ(a.gaps.back_to_back_fraction,
+                     b.gaps.back_to_back_fraction);
+    EXPECT_NEAR(a.precision.precision_ms, b.precision.precision_ms, 1e-9);
+    EXPECT_EQ(a.trains.total_packets, b.trains.total_packets);
+    EXPECT_EQ(a.trains.packets_by_length, b.trains.packets_by_length);
+  }
+}
+
 TEST(RunFlows, JainIndexHandMath) {
   EXPECT_DOUBLE_EQ(framework::jain_index({10.0, 10.0, 10.0, 10.0}), 1.0);
   // One flow hogging everything: 1/N.
@@ -164,6 +230,35 @@ TEST(ParallelFlows, FlowSetsAreBitIdenticalToSerial) {
     for (std::size_t f = 0; f < serial[s].flows.size(); ++f) {
       EXPECT_EQ(serial[s].flows[f].wire_hash, parallel[s].flows[f].wire_hash);
     }
+  }
+}
+
+TEST(ParallelFlows, ShardedExtractionIsBitIdenticalAtScale) {
+  // The fabric-scale determinism gate: sharding only parallelizes the
+  // per-flow extraction (demux finish, hash digest, result fill) after
+  // the serial event core has run, so every shard plan must reproduce
+  // the unsharded run bit for bit — at N=1000, not just at toy sizes.
+  MultiFlowConfig config;
+  config.seed = 9;
+  config.lite_metrics = true;
+  for (int i = 0; i < 1000; ++i) {
+    config.flows.push_back(
+        FlowSpec{.config = small_config(StackKind::kIdealQuic, 4096)});
+  }
+
+  const MultiFlowResult serial = framework::run_flows(config);
+  const MultiFlowResult sharded =
+      ParallelRunner(4).run_flow_shards(config, /*shard_size=*/64);
+
+  ASSERT_EQ(serial.flows.size(), sharded.flows.size());
+  EXPECT_DOUBLE_EQ(serial.fairness, sharded.fairness);
+  EXPECT_EQ(serial.bottleneck_drops, sharded.bottleneck_drops);
+  for (std::size_t f = 0; f < serial.flows.size(); ++f) {
+    EXPECT_EQ(serial.flows[f].wire_hash, sharded.flows[f].wire_hash);
+    EXPECT_EQ(serial.flows[f].dropped_packets,
+              sharded.flows[f].dropped_packets);
+    EXPECT_DOUBLE_EQ(serial.flows[f].goodput.goodput.mbps(),
+                     sharded.flows[f].goodput.goodput.mbps());
   }
 }
 

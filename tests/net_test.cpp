@@ -238,6 +238,74 @@ TEST(FlowTable, DuplicateRegistrationTripsAudit) {
   EXPECT_NE(failures[0].find("registered twice"), std::string::npos);
 }
 
+TEST(FlowTable, BulkRegistrationRoutesLikeIncremental) {
+  // The fabric-scale path: append out of order under begin_bulk, sort
+  // once at finish_bulk, then route exactly as O(n)-insert tables do —
+  // including the burst cache and the train-switch binary search.
+  FlowTableSink table;
+  std::vector<CollectorSink> sinks(64);
+  table.begin_bulk(sinks.size());
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    // Reverse order with gaps: the sort at finish_bulk does the work.
+    const std::uint32_t flow = static_cast<std::uint32_t>(
+        10 + 3 * (sinks.size() - 1 - i));
+    table.add_route(flow, &sinks[sinks.size() - 1 - i]);
+  }
+  table.finish_bulk();
+  EXPECT_EQ(table.route_count(), sinks.size());
+
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    const std::uint32_t flow = static_cast<std::uint32_t>(10 + 3 * i);
+    table.deliver(make_flow_packet(flow, i));
+    table.deliver(make_flow_packet(flow, 1000 + i));  // burst-cache hit
+  }
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    ASSERT_EQ(sinks[i].packets().size(), 2u) << "sink " << i;
+    EXPECT_EQ(sinks[i].packets()[0].id, i);
+    EXPECT_EQ(sinks[i].packets()[1].id, 1000 + i);
+  }
+}
+
+TEST(FlowTable, BulkDuplicateIsCaughtAtFinish) {
+  if (!check::kAuditEnabled) GTEST_SKIP() << "audit compiled out";
+  std::vector<std::string> failures;
+  check::set_audit_handler([&failures](const check::AuditFailure& failure) {
+    failures.push_back(failure.to_string());
+  });
+
+  FlowTableSink table;
+  CollectorSink first;
+  CollectorSink second;
+  table.begin_bulk(2);
+  table.add_route(7, &first);
+  table.add_route(7, &second);  // not detectable until the sort
+  EXPECT_TRUE(failures.empty());
+  table.finish_bulk();
+
+  check::set_audit_handler({});
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("registered twice"), std::string::npos);
+}
+
+TEST(FlowTable, LookupDuringBulkBuildTripsAudit) {
+  if (!check::kAuditEnabled) GTEST_SKIP() << "audit compiled out";
+  std::vector<std::string> failures;
+  check::set_audit_handler([&failures](const check::AuditFailure& failure) {
+    failures.push_back(failure.to_string());
+  });
+
+  FlowTableSink table;
+  CollectorSink a;
+  table.begin_bulk(1);
+  table.add_route(7, &a);
+  table.deliver(make_flow_packet(7, 1));  // table is unsorted mid-bulk
+
+  check::set_audit_handler({});
+  ASSERT_FALSE(failures.empty());
+  EXPECT_NE(failures[0].find("bulk build"), std::string::npos);
+  table.finish_bulk();
+}
+
 TEST(Packet, GsoBufferPredicate) {
   Packet p = make_packet(1);
   EXPECT_FALSE(p.is_gso_buffer());
