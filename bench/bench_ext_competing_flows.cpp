@@ -152,13 +152,63 @@ void run_fabric_scale(int flows) {
       "and every drop is attributed to exactly one sender.");
 }
 
+double fabric_wall_seconds(const framework::MultiFlowConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  const framework::MultiFlowResult result = framework::run_flows(config);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // Keep the run honest (and un-elided): every flow must have moved data.
+  if (result.fairness <= 0.0) std::abort();
+  return wall;
+}
+
+/// Sampled-telemetry overhead on the provisioned fabric: the same N-flow
+/// run untraced vs with 1-in-100 sampled tracing + 10 ms fleet telemetry
+/// windows. Returns nonzero (for CI) when `gate` > 0 and the wall-clock
+/// ratio exceeds it — the telemetry spine must stay within a few percent
+/// of free at fabric scale, or nobody will leave it on.
+int run_telemetry_overhead(int flows, double gate) {
+  const framework::MultiFlowConfig untraced = fabric_fleet(flows, 4);
+  framework::MultiFlowConfig telemetry = untraced;
+  telemetry.trace_sample = 100;
+  telemetry.telemetry_window = sim::Duration::millis(10);
+  for (framework::FlowSpec& spec : telemetry.flows) {
+    spec.config.trace = true;
+  }
+
+  // Best-of-two per arm, interleaved: first-run warmup (page faults,
+  // allocator growth) lands on both arms and shared-runner noise cannot
+  // systematically favor one side.
+  double base = fabric_wall_seconds(untraced);
+  double sampled = fabric_wall_seconds(telemetry);
+  base = std::min(base, fabric_wall_seconds(untraced));
+  sampled = std::min(sampled, fabric_wall_seconds(telemetry));
+
+  const double ratio = sampled / base;
+  std::printf("\ntelemetry overhead at %d flows (1-in-100 trace, 10 ms "
+              "windows):\n", flows);
+  std::printf("  untraced %.3f s, sampled-telemetry %.3f s, ratio %.3fx",
+              base, sampled, ratio);
+  if (gate > 0.0) {
+    const bool ok = ratio <= gate;
+    std::printf("  [gate %.2fx: %s]\n", gate, ok ? "pass" : "FAIL");
+    return ok ? 0 : 1;
+  }
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int flow_count = 4;
+  double telemetry_gate = 0.0;  // 0 = report only, no gate
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--flows") == 0) {
       flow_count = std::max(2, std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--telemetry-gate") == 0) {
+      telemetry_gate = std::atof(argv[i + 1]);
     }
   }
   print_header("extD", "competing flows at the bottleneck (future work)");
@@ -167,7 +217,7 @@ int main(int argc, char** argv) {
     // Stack-matchup fleets at this N would measure wall-clock, not
     // fairness; the fabric-scale mode is the 100/1000/10000 sweep.
     run_fabric_scale(flow_count);
-    return 0;
+    return run_telemetry_overhead(flow_count, telemetry_gate);
   }
 
   const std::int64_t payload = framework::env_payload_bytes();

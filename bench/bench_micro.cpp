@@ -13,6 +13,9 @@
 #include "metrics/gap_analyzer.hpp"
 #include "metrics/precision.hpp"
 #include "metrics/train_analyzer.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/quantile_sketch.hpp"
+#include "obs/time_series.hpp"
 #include "obs/trace.hpp"
 #include "pacing/interval_pacer.hpp"
 #include "pacing/leaky_bucket_pacer.hpp"
@@ -472,6 +475,66 @@ void BM_TraceSpanPublish(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceSpanPublish);
+
+void BM_MetricsCounterByName(benchmark::State& state) {
+  // The old per-packet call-site shape: one map lookup (string hash +
+  // node walk) per touch. Baseline for BM_MetricsCounterHandle.
+  obs::MetricsRegistry reg;
+  reg.add_counter("fleet/wire_packets", 0);
+  for (auto _ : state) {
+    reg.add_counter("fleet/wire_packets", 1);
+  }
+  benchmark::DoNotOptimize(reg.counters().size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterByName);
+
+void BM_MetricsCounterHandle(benchmark::State& state) {
+  // The pre-resolved handle the telemetry tap uses: resolve once at
+  // wiring time, then a bare int64 add per packet.
+  obs::MetricsRegistry reg;
+  const obs::CounterHandle handle = reg.counter("fleet/wire_packets");
+  for (auto _ : state) {
+    handle.add(1);
+    // Forces the store to land each iteration; without it the compiler
+    // folds the whole loop into one add of `iterations`.
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(reg.counters().size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterHandle);
+
+void BM_QuantileSketchObserve(benchmark::State& state) {
+  // Per-sample sketch cost over a mixed-magnitude stream (exact region
+  // plus several octaves, both signs) — the per-span price of the fleet
+  // pacing-error tail.
+  obs::QuantileSketch sketch;
+  std::int64_t v = 1;
+  for (auto _ : state) {
+    v = v * 6364136223846793005ll + 1442695040888963407ll;
+    sketch.observe((v >> 33) % 1'000'000 - 200'000);
+  }
+  benchmark::DoNotOptimize(sketch.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileSketchObserve);
+
+void BM_TimeSeriesOnPacket(benchmark::State& state) {
+  // The telemetry tap's per-packet hot path: ordinal divide, predicted
+  // not-taken roll check, two adds. Window rolls amortize to ~0 (one per
+  // thousands of packets at real rates); the ring never allocates.
+  obs::TimeSeries series(1_ms, 4096, nullptr, nullptr);
+  sim::Time now;
+  const sim::Duration gap = sim::Duration::nanos(12'000);  // 1200 B at 800 Mbit/s
+  for (auto _ : state) {
+    now += gap;
+    series.on_wire_packet(now, 1200);
+  }
+  benchmark::DoNotOptimize(series.end_ordinal());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimeSeriesOnPacket);
 
 void BM_RunWithTrace(benchmark::State& state) {
   // Whole-run cost of path tracing through a real transfer: arg 0 runs

@@ -26,6 +26,18 @@ std::uint32_t default_flow_id(const FlowSpec& spec, std::size_t index,
   return static_cast<std::uint32_t>(10 + index);
 }
 
+/// TimeSeries snapshot provider: cumulative bottleneck counters, read
+/// through a raw function pointer (no heap closure on the hot path).
+obs::TimeSeries::Snapshot bottleneck_snapshot(void* ctx) {
+  Network* net = static_cast<Network*>(ctx);
+  const net::Counters& c = net->path().bottleneck().counters();
+  obs::TimeSeries::Snapshot snap;
+  snap.delivered_packets = c.packets_out;
+  snap.dropped_packets = c.packets_dropped;
+  snap.backlog_packets = c.packets_queued();
+  return snap;
+}
+
 }  // namespace
 
 SenderHost::SenderHost(sim::EventLoop& loop, const FlowSpec& spec,
@@ -110,7 +122,16 @@ void Network::start() {
 }
 
 void Network::set_trace(obs::TraceBus& bus) {
+  set_trace(bus, obs::FlowSampler());
+}
+
+void Network::set_trace(obs::TraceBus& bus, const obs::FlowSampler& sampler) {
+  bus.set_sampler(sampler);
   for (std::size_t i = 0; i < handles_.size(); ++i) {
+    // Sender-side components of unsampled flows never get a bus: their
+    // QUICSTEPS_TRACE_SPAN sites stay on the null-pointer fast path, so an
+    // unsampled flow costs the same as an untraced one.
+    if (!sampler.sampled(host(i).flow_id())) continue;
     const std::string prefix =
         handles_.size() == 1 ? std::string()
                              : "host" + std::to_string(i) + "/";
@@ -207,17 +228,38 @@ MultiFlowResult run_flows_sharded(const MultiFlowConfig& config,
   for (const FlowSpec& spec : config.flows) {
     if (spec.config.trace) tracing = true;
   }
+  const obs::FlowSampler sampler(config.seed, config.trace_sample);
   if (tracing && obs::kTraceEnabled) {
-    net.set_trace(trace_bus);
+    net.set_trace(trace_bus, sampler);
     // Pre-size the span store: ~payload/MSS wire packets per flow, ~9
-    // stages each plus ACK-path spans. Overshooting slightly is fine —
-    // the goal is no reallocation while the run is hot.
+    // stages each plus ACK-path spans, scaled down by the sampling period
+    // (only sampled flows publish). Overshooting slightly is fine — the
+    // goal is no reallocation while the run is hot.
     std::size_t hint = 0;
     for (const FlowSpec& spec : config.flows) {
       hint += static_cast<std::size_t>(spec.config.payload_bytes / 1200 + 64) *
               12;
     }
-    trace_bus.reserve(hint);
+    trace_bus.reserve(hint / sampler.every() + 1024);
+  }
+
+  // Fleet telemetry: the windowed time series rides the serial event core
+  // (fed from the tap callback below), so serial and sharded runs produce
+  // byte-identical series. Counter snapshots land at window rolls.
+  const bool telemetry = !config.telemetry_window.is_zero();
+  std::unique_ptr<obs::TimeSeries> timeseries;
+  obs::TimeSeries* ts = nullptr;
+  obs::CounterHandle wire_packets_handle;
+  obs::CounterHandle wire_bytes_handle;
+  if (telemetry) {
+    timeseries = std::make_unique<obs::TimeSeries>(
+        config.telemetry_window, config.telemetry_capacity,
+        &bottleneck_snapshot, &net);
+    ts = timeseries.get();
+    // Pre-resolved handles: the per-packet path below pays one int64 add,
+    // not a map lookup per touch (obs::CounterHandle).
+    wire_packets_handle = result.metrics.counter("fleet/wire_packets");
+    wire_bytes_handle = result.metrics.counter("fleet/wire_bytes");
   }
 
   // All per-flow metrics derive from the shared tap; one incremental pass
@@ -246,8 +288,14 @@ MultiFlowResult run_flows_sharded(const MultiFlowConfig& config,
     net.path().tap().set_retain_capture(false);
   }
   net.path().tap().set_on_packet([&demux, &hashers, &captures, &tap_monotone,
-                                  &tap_packets](const net::Packet& pkt) {
+                                  &tap_packets, ts, wire_packets_handle,
+                                  wire_bytes_handle](const net::Packet& pkt) {
     ++tap_packets;
+    if (ts != nullptr) {
+      ts->on_wire_packet(pkt.wire_time, pkt.size_bytes);
+      wire_packets_handle.add(1);
+      wire_bytes_handle.add(pkt.size_bytes);
+    }
     const int slot = demux.add(pkt);
     if (slot >= 0) {
       hashers[static_cast<std::size_t>(slot)].add_i64(pkt.wire_time.ns());
@@ -272,11 +320,18 @@ MultiFlowResult run_flows_sharded(const MultiFlowConfig& config,
                     "tap and bottleneck disagree on wire packet count");
   }
 
+  // Close the telemetry series before the spans move: finalize attributes
+  // the post-run queue drain to the last active window, then the span fold
+  // adds per-stage pacing errors into the windows of their timestamps
+  // (sampled flows only — exact for the sampled population).
+  if (telemetry) timeseries->finalize();
+
   // Demux the shared bus into per-flow traces: each traced flow gets the
   // full component table plus only its own spans (ACKs included — they
   // carry the flow's id on the return path).
   obs::TraceData all_spans;
   if (tracing) all_spans = trace_bus.take();
+  if (telemetry && tracing) timeseries->fold_spans(all_spans.events);
 
   // Per-flow extraction. The event core above is inherently serial (one
   // shared bottleneck, one clock); what shards is this phase — demux
@@ -288,6 +343,11 @@ MultiFlowResult run_flows_sharded(const MultiFlowConfig& config,
   // happens after the join, iterating flows[] in index order. Output is
   // therefore bit-identical at any shard size and job count.
   std::vector<double> goodputs(n);
+  // Per-flow pacing-error sketch slots: each shard writes only its own
+  // flows' slots; the fleet merge below reads them back in flows[] index
+  // order, so the merged sketch is bit-identical at any shard plan (and
+  // order-independent anyway — integer bucket adds commute).
+  std::vector<obs::QuantileSketch> flow_sketches(telemetry && tracing ? n : 0);
   auto extract_flow = [&](std::size_t i) {
     RunResult& flow_result = result.flows[i];
     net.host(i).endpoint().fill_result(flow_result);
@@ -302,7 +362,8 @@ MultiFlowResult run_flows_sharded(const MultiFlowConfig& config,
     if (captures[i] != nullptr) {
       flow_result.capture = std::move(captures[i]);
     }
-    if (tracing && config.flows[i].config.trace) {
+    if (tracing && config.flows[i].config.trace &&
+        sampler.sampled(net.host(i).flow_id())) {
       const std::uint32_t id = net.host(i).flow_id();
       auto flow_trace = std::make_shared<obs::TraceData>();
       if (n == 1) {
@@ -314,6 +375,16 @@ MultiFlowResult run_flows_sharded(const MultiFlowConfig& config,
         flow_trace->components = all_spans.components;
         for (const obs::SpanEvent& ev : all_spans.events) {
           if (ev.flow == id) flow_trace->events.push_back(ev);
+        }
+      }
+      if (!flow_sketches.empty()) {
+        // Wire-stage pacing error into this flow's preassigned sketch
+        // slot (merged fleet-wide after the join).
+        obs::QuantileSketch& sketch = flow_sketches[i];
+        for (const obs::SpanEvent& ev : flow_trace->events) {
+          if (ev.stage == obs::TraceStage::kWire && ev.intended.ns() != 0) {
+            sketch.observe((ev.at - ev.intended).us());
+          }
         }
       }
       flow_result.trace = std::move(flow_trace);
@@ -376,7 +447,48 @@ MultiFlowResult run_flows_sharded(const MultiFlowConfig& config,
       }
     }
   }
+  if (telemetry) {
+    // Fleet tails. Merging the preassigned per-flow slots in flows[]
+    // index order keeps the registry output byte-identical at any shard
+    // plan (bucket adds commute, but min/max/count do too only because
+    // merge is elementwise — the fixed order costs nothing and removes
+    // the question).
+    if (tracing) {
+      obs::QuantileSketch& pacing = reg.sketch("fleet/pacing_error_us/wire");
+      for (const obs::QuantileSketch& sk : flow_sketches) pacing.merge(sk);
+    }
+    obs::QuantileSketch& fct = reg.sketch("fleet/fct_us");
+    for (const RunResult& flow_result : result.flows) {
+      if (flow_result.completed) {
+        fct.observe(flow_result.goodput.elapsed.us());
+      }
+    }
+    result.timeseries = std::move(timeseries);
+  }
   return result;
+}
+
+obs::HealthReport fleet_health(const MultiFlowConfig& config,
+                               const MultiFlowResult& result) {
+  obs::HealthContext ctx;
+  if (!config.flows.empty()) {
+    // Two one-way netem legs: base RTT is twice the one-way delay. The
+    // stall threshold scales from this, so a long-RTT run is not flagged
+    // for gaps a short-RTT run would sail through.
+    ctx.rtt = config.flows[0].config.topology.path_delay_one_way * 2.0;
+  }
+  ctx.flows = static_cast<std::int64_t>(result.flows.size());
+  for (const RunResult& flow : result.flows) {
+    if (flow.completed) ++ctx.completed_flows;
+  }
+  ctx.fairness = result.fairness;
+  const auto& sketches = result.metrics.sketches();
+  const auto pacing = sketches.find("fleet/pacing_error_us/wire");
+  const auto fct = sketches.find("fleet/fct_us");
+  return obs::build_health_report(
+      ctx, result.timeseries.get(),
+      pacing == sketches.end() ? nullptr : &pacing->second,
+      fct == sketches.end() ? nullptr : &fct->second, result.counters);
 }
 
 }  // namespace quicsteps::framework

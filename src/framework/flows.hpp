@@ -23,7 +23,10 @@
 #include "framework/experiment.hpp"
 #include "framework/flow_slab.hpp"
 #include "framework/network.hpp"
+#include "obs/flow_sampler.hpp"
+#include "obs/health_report.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/time_series.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/random.hpp"
@@ -51,6 +54,21 @@ struct MultiFlowConfig {
   /// Required headroom at fabric scale (10k flows); summaries and
   /// fractions survive, per-sample CDFs don't.
   bool lite_metrics = false;
+  /// Deterministic 1-in-N flow sampling for the trace spine (<=1 = trace
+  /// every flow whose config opted in). Whether a flow is sampled is a
+  /// pure function of (seed, flow id) — obs::FlowSampler — so serial and
+  /// sharded runs trace identical subsets. Unsampled flows keep a null
+  /// bus on their sender components and are filtered at the shared-path
+  /// publish, bounding span memory at fabric scale.
+  std::uint32_t trace_sample = 0;
+  /// Fleet telemetry window width (zero = telemetry off). When set, the
+  /// run carries an obs::TimeSeries fed from the wire tap and bottleneck
+  /// counters, fleet quantile sketches land in the metrics registry, and
+  /// MultiFlowResult::timeseries is populated.
+  sim::Duration telemetry_window = sim::Duration::zero();
+  /// Ring capacity of the telemetry window store (oldest windows evict
+  /// beyond this; evictions are counted, never silent).
+  std::size_t telemetry_capacity = 4096;
 };
 
 struct MultiFlowResult {
@@ -68,8 +86,14 @@ struct MultiFlowResult {
   net::CountersTable counters;
   /// Everything the run measured about itself: counter-table gauges,
   /// event-loop profile per event class, per-flow pacer ledgers and drop
-  /// attribution, and (when tracing) per-stage pacing-error histograms.
+  /// attribution, (when tracing) per-stage pacing-error histograms, and
+  /// (when telemetry is on) the fleet quantile sketches
+  /// "fleet/pacing_error_us/wire" and "fleet/fct_us".
   obs::MetricsRegistry metrics;
+  /// Windowed fleet telemetry when MultiFlowConfig::telemetry_window is
+  /// set; null otherwise. Byte-identical between run_flows and
+  /// run_flows_sharded (the feeding tap runs in the serial event core).
+  std::shared_ptr<const obs::TimeSeries> timeseries;
 };
 
 /// One sender host: kernel egress chain + endpoint, attached to the shared
@@ -142,6 +166,11 @@ class Network {
   /// assigned in wiring order (hosts in flows[] order, then the path), so
   /// the table is a pure function of the config.
   void set_trace(obs::TraceBus& bus);
+  /// Sampled variant: hosts whose flow id the sampler rejects keep a null
+  /// bus (their sender-side spans cost nothing); the shared path is always
+  /// wired and the bus filters its per-flow packets via the sampler. The
+  /// component table stays a pure function of (config, seed).
+  void set_trace(obs::TraceBus& bus, const obs::FlowSampler& sampler);
 
  private:
   sim::EventLoop& loop_;
@@ -188,5 +217,13 @@ struct ShardPlan {
 /// entry point.
 MultiFlowResult run_flows_sharded(const MultiFlowConfig& config,
                                   const ShardPlan& shards);
+
+/// Builds the deterministic run health report (obs::HealthReport) from a
+/// finished fleet run: stall/spike/drop-burst detection over the
+/// telemetry windows, fleet tail summaries from the registry sketches,
+/// and conservation deltas from the counters table. Works on any result —
+/// sections without telemetry inputs stay empty.
+obs::HealthReport fleet_health(const MultiFlowConfig& config,
+                               const MultiFlowResult& result);
 
 }  // namespace quicsteps::framework

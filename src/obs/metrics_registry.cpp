@@ -22,6 +22,13 @@ void Histogram::observe(std::int64_t value) {
   if (count_ == 0 || value > max_) max_ = value;
   ++count_;
   sum_ += value;
+  if (value < bounds_.front()) {
+    // Below every edge: an explicit underflow counter instead of
+    // silently widening the first bucket (which made a -10 s outlier
+    // indistinguishable from a -10 ms one).
+    ++underflow_;
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
 }
@@ -30,12 +37,13 @@ std::string Histogram::to_string() const {
   std::string out = "count=" + std::to_string(count_) +
                     " sum=" + std::to_string(sum_) +
                     " min=" + std::to_string(min_) +
-                    " max=" + std::to_string(max_);
+                    " max=" + std::to_string(max_) +
+                    " under=" + std::to_string(underflow_);
   for (std::size_t i = 0; i < bounds_.size(); ++i) {
     out += " le" + std::to_string(bounds_[i]) + "=" +
            std::to_string(counts_[i]);
   }
-  out += " rest=" + std::to_string(counts_.back());
+  out += " over=" + std::to_string(counts_.back());
   return out;
 }
 
@@ -48,8 +56,18 @@ void MetricsRegistry::add_counter(const std::string& name,
   counters_[name] += delta;
 }
 
+CounterHandle MetricsRegistry::counter(const std::string& name) {
+  // std::map nodes are pointer-stable under later insertions, so the
+  // handle survives any number of other metrics being registered.
+  return CounterHandle(&counters_[name]);
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   return histograms_[name];
+}
+
+QuantileSketch& MetricsRegistry::sketch(const std::string& name) {
+  return sketches_[name];
 }
 
 void MetricsRegistry::add_counters_table(const std::string& prefix,
@@ -67,7 +85,8 @@ std::string MetricsRegistry::to_string() const {
   // Merge the three ordered maps into one name-sorted emission; the kind
   // tag keeps a gauge and a counter of the same name distinguishable.
   std::vector<std::pair<std::string, std::string>> lines;
-  lines.reserve(gauges_.size() + counters_.size() + histograms_.size());
+  lines.reserve(gauges_.size() + counters_.size() + histograms_.size() +
+                sketches_.size());
   for (const auto& [name, value] : gauges_) {
     lines.emplace_back(name, name + ": gauge " + std::to_string(value));
   }
@@ -76,6 +95,9 @@ std::string MetricsRegistry::to_string() const {
   }
   for (const auto& [name, hist] : histograms_) {
     lines.emplace_back(name, name + ": histogram " + hist.to_string());
+  }
+  for (const auto& [name, sk] : sketches_) {
+    lines.emplace_back(name, name + ": sketch " + sk.to_string());
   }
   std::sort(lines.begin(), lines.end());
   std::string out;

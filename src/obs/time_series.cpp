@@ -1,0 +1,111 @@
+#include "obs/time_series.hpp"
+
+#include <algorithm>
+
+namespace quicsteps::obs {
+
+TimeSeries::TimeSeries(sim::Duration width, std::size_t capacity,
+                       SnapshotFn snapshot, void* snapshot_ctx)
+    : width_ns_(std::max<std::int64_t>(width.ns(), 1)),
+      cap_(static_cast<std::int64_t>(std::max<std::size_t>(capacity, 2))),
+      snapshot_fn_(snapshot),
+      snapshot_ctx_(snapshot_ctx) {
+  ring_.resize(static_cast<std::size_t>(cap_));
+}
+
+void TimeSeries::close_open_window() {
+  // Attribute the bottleneck counter movement since the last close to the
+  // window being closed. After finalize() the counters are static, so
+  // span-only extensions must not re-snapshot — they would overwrite the
+  // final window's drain delta with zeros.
+  if (finalized_ || snapshot_fn_ == nullptr) return;
+  const Snapshot now = snapshot_fn_(snapshot_ctx_);
+  Window& w = slot(end_ord_ - 1);
+  w.delivered_packets = now.delivered_packets - last_snapshot_.delivered_packets;
+  w.dropped_packets = now.dropped_packets - last_snapshot_.dropped_packets;
+  w.backlog_packets = now.backlog_packets;
+  last_snapshot_ = now;
+}
+
+void TimeSeries::roll_to(std::int64_t ord) {
+  std::int64_t from = ord;
+  if (end_ord_ != begin_ord_) {
+    if (ord < end_ord_) return;  // still inside the open window
+    close_open_window();
+    from = end_ord_;
+  } else {
+    begin_ord_ = ord;
+    end_ord_ = ord;
+  }
+  if (ord - from + 1 > cap_) {
+    // The gap alone overflows the ring: everything currently retained and
+    // every gap ordinal below the surviving range evicts wholesale
+    // instead of being materialized one slot at a time.
+    const std::int64_t new_begin = ord - cap_ + 1;
+    evicted_ += new_begin - begin_ord_;
+    begin_ord_ = new_begin;
+    end_ord_ = new_begin;
+    from = new_begin;
+  }
+  for (std::int64_t o = from; o <= ord; ++o) {
+    Window& w = slot(o);
+    w = Window{};
+    w.index = o;
+    end_ord_ = o + 1;
+    if (end_ord_ - begin_ord_ > cap_) {
+      ++evicted_;
+      ++begin_ord_;
+    }
+  }
+}
+
+void TimeSeries::finalize() {
+  if (finalized_ || end_ord_ == begin_ord_) {
+    finalized_ = true;
+    return;
+  }
+  close_open_window();
+  finalized_ = true;
+}
+
+void TimeSeries::fold_spans(const std::vector<SpanEvent>& events) {
+  for (const SpanEvent& ev : events) {
+    if (ev.intended.ns() == 0) continue;  // no pacer intent to diff against
+    const std::int64_t ord = ev.at.ns() / width_ns_;
+    if (end_ord_ == begin_ord_ || ord >= end_ord_) roll_to(ord);
+    if (ord < begin_ord_) continue;  // window already evicted
+    Window& w = slot(ord);
+    const std::size_t stage = static_cast<std::size_t>(ev.stage);
+    ++w.stage_count[stage];
+    w.stage_error_sum_us[stage] += (ev.at - ev.intended).us();
+  }
+}
+
+std::string TimeSeries::to_csv() const {
+  std::string out =
+      "window,start_us,wire_packets,wire_bytes,delivered_packets,"
+      "dropped_packets,backlog_packets";
+  for (std::size_t s = 0; s < kTraceStageCount; ++s) {
+    const std::string stage = to_string(static_cast<TraceStage>(s));
+    out += ",n_" + stage + ",err_us_" + stage;
+  }
+  out += '\n';
+  for (std::int64_t o = begin_ord_; o < end_ord_; ++o) {
+    const Window& w = window(o);
+    out += std::to_string(o) + ',' +
+           std::to_string(o * width_ns_ / 1'000) + ',' +
+           std::to_string(w.wire_packets) + ',' +
+           std::to_string(w.wire_bytes) + ',' +
+           std::to_string(w.delivered_packets) + ',' +
+           std::to_string(w.dropped_packets) + ',' +
+           std::to_string(w.backlog_packets);
+    for (std::size_t s = 0; s < kTraceStageCount; ++s) {
+      out += ',' + std::to_string(w.stage_count[s]) + ',' +
+             std::to_string(w.stage_error_sum_us[s]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace quicsteps::obs

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/flow_sampler.hpp"
 #include "sim/time.hpp"
 
 namespace quicsteps::obs {
@@ -114,6 +115,17 @@ class TraceBus {
   /// count so a traced run never reallocates mid-flight).
   void reserve(std::size_t n) { data_.events.reserve(n); }
 
+  /// Installs 1-in-N flow sampling. Sender-side components of unsampled
+  /// flows get a null bus at wiring time (zero cost); shared-path
+  /// components see every flow's packets, so publish_packet_span asks
+  /// accepts() per packet — one splitmix hash, far cheaper than storing
+  /// the span. Default: everything accepted.
+  void set_sampler(const FlowSampler& sampler) { sampler_ = sampler; }
+  const FlowSampler& sampler() const { return sampler_; }
+
+  /// True when `flow`'s spans belong on this bus.
+  bool accepts(std::uint32_t flow) const { return sampler_.sampled(flow); }
+
   const std::vector<std::string>& component_names() const {
     return data_.components;
   }
@@ -124,6 +136,7 @@ class TraceBus {
 
  private:
   TraceData data_;
+  FlowSampler sampler_;  // default-constructed: sample everything
 };
 
 inline SpanEvent make_span(TraceStage stage, std::uint16_t component,
@@ -151,6 +164,9 @@ inline void publish_packet_span(TraceBus* bus, TraceStage stage,
   // Null bus = tracing disabled. The QUICSTEPS_TRACE_SPAN macro checks
   // before calling, but direct callers reach here unguarded.
   if (bus == nullptr) return;
+  // Sampled-out flow: drop the span before it costs memory. GSO segments
+  // always share their carrier's flow, so one check covers the train.
+  if (!bus->accepts(pkt.flow)) return;
   if (pkt.is_gso_buffer()) {
     constexpr std::size_t kTrainBuf = 64;
     SpanEvent train[kTrainBuf];

@@ -4,6 +4,9 @@
 // identical flows split the shared bottleneck fairly (Jain's index ~ 1).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -259,6 +262,134 @@ TEST(ParallelFlows, ShardedExtractionIsBitIdenticalAtScale) {
               sharded.flows[f].dropped_packets);
     EXPECT_DOUBLE_EQ(serial.flows[f].goodput.goodput.mbps(),
                      sharded.flows[f].goodput.goodput.mbps());
+  }
+}
+
+// --------------------------------------------- fleet telemetry gates
+
+TEST(TelemetryFleet, ArtifactsAreBitIdenticalSerialVsSharded) {
+  // The telemetry spine feeds from the serial event core (wire tap +
+  // bottleneck counters) and merges per-flow sketch slots in flows[]
+  // order, so every derived artifact — windowed CSV, registry emission
+  // (fleet sketches included), health JSON — must be byte-identical
+  // between run_flows and any shard plan. N=1000 with 1-in-100 sampled
+  // tracing: the fabric-scale configuration, not a toy.
+  MultiFlowConfig config;
+  config.seed = 9;
+  config.lite_metrics = true;
+  config.trace_sample = 100;
+  config.telemetry_window = Duration::millis(10);
+  for (int i = 0; i < 1000; ++i) {
+    FlowSpec spec{.config = small_config(StackKind::kIdealQuic, 4096)};
+    spec.config.trace = true;
+    config.flows.push_back(spec);
+  }
+
+  const MultiFlowResult serial = framework::run_flows(config);
+  const MultiFlowResult sharded =
+      ParallelRunner(4).run_flow_shards(config, /*shard_size=*/64);
+
+  ASSERT_NE(serial.timeseries, nullptr);
+  ASSERT_NE(sharded.timeseries, nullptr);
+  EXPECT_GT(serial.timeseries->size(), 0u);
+  EXPECT_EQ(serial.timeseries->to_csv(), sharded.timeseries->to_csv());
+  EXPECT_EQ(serial.metrics.to_string(), sharded.metrics.to_string());
+  EXPECT_EQ(framework::fleet_health(config, serial).to_json(),
+            framework::fleet_health(config, sharded).to_json());
+
+  if (obs::kTraceEnabled) {
+    // The fleet sketches materialized and carry the sampled population.
+    const auto& sketches = serial.metrics.sketches();
+    const auto pacing = sketches.find("fleet/pacing_error_us/wire");
+    ASSERT_NE(pacing, sketches.end());
+    EXPECT_GT(pacing->second.count(), 0);
+    const auto fct = sketches.find("fleet/fct_us");
+    ASSERT_NE(fct, sketches.end());
+    EXPECT_GT(fct->second.count(), 0);
+  }
+}
+
+TEST(TelemetryFleet, SampledTracingLeavesTheWireUntouched) {
+  // Sampling only filters what the observability spine records; the
+  // simulated packet stream must be bit-identical whether a flow is
+  // traced, sampled out, or the run is untraced entirely.
+  MultiFlowConfig untraced;
+  untraced.seed = 5;
+  for (int i = 0; i < 40; ++i) {
+    untraced.flows.push_back(
+        FlowSpec{.config = small_config(StackKind::kIdealQuic, 16 * 1024)});
+  }
+  MultiFlowConfig sampled = untraced;
+  sampled.trace_sample = 10;
+  for (FlowSpec& spec : sampled.flows) spec.config.trace = true;
+
+  const MultiFlowResult base = framework::run_flows(untraced);
+  const MultiFlowResult traced = framework::run_flows(sampled);
+
+  ASSERT_EQ(base.flows.size(), traced.flows.size());
+  EXPECT_DOUBLE_EQ(base.fairness, traced.fairness);
+  for (std::size_t f = 0; f < base.flows.size(); ++f) {
+    EXPECT_EQ(base.flows[f].wire_hash, traced.flows[f].wire_hash) << f;
+  }
+
+  if (obs::kTraceEnabled) {
+    // Deterministic subset: exactly the flows the sampler picks carry a
+    // trace, and both runs' packet books agree.
+    const obs::FlowSampler sampler(sampled.seed, sampled.trace_sample);
+    std::size_t traced_flows = 0;
+    for (std::size_t f = 0; f < traced.flows.size(); ++f) {
+      const bool has_trace = traced.flows[f].trace != nullptr;
+      // Multi-flow fabrics assign wire ids 10, 11, ... in flows[] order.
+      EXPECT_EQ(has_trace,
+                sampler.sampled(static_cast<std::uint32_t>(10 + f)))
+          << f;
+      traced_flows += has_trace ? 1 : 0;
+    }
+    EXPECT_GT(traced_flows, 0u);
+    EXPECT_LT(traced_flows, traced.flows.size());
+  }
+}
+
+TEST(TelemetryFleet, SketchTailMatchesExactQuantilesOfTheRun) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "trace compiled out";
+  // Full-sample cross-check on a real run: trace every flow, rebuild the
+  // exact wire-stage pacing-error population from the spans, and require
+  // the fleet sketch's p50/p99 to land within one log bucket of the
+  // exact percentile.
+  MultiFlowConfig config;
+  config.seed = 3;
+  config.telemetry_window = Duration::millis(10);
+  for (int i = 0; i < 20; ++i) {
+    FlowSpec spec{.config = small_config(StackKind::kIdealQuic, 64 * 1024)};
+    spec.config.trace = true;
+    config.flows.push_back(spec);
+  }
+  const MultiFlowResult result = framework::run_flows(config);
+
+  std::vector<std::int64_t> exact;
+  for (const RunResult& flow : result.flows) {
+    ASSERT_NE(flow.trace, nullptr);
+    for (const obs::SpanEvent& ev : flow.trace->events) {
+      if (ev.stage == obs::TraceStage::kWire && ev.intended.ns() != 0) {
+        exact.push_back((ev.at - ev.intended).us());
+      }
+    }
+  }
+  ASSERT_FALSE(exact.empty());
+  std::sort(exact.begin(), exact.end());
+
+  const auto& sketches = result.metrics.sketches();
+  const auto it = sketches.find("fleet/pacing_error_us/wire");
+  ASSERT_NE(it, sketches.end());
+  const obs::QuantileSketch& sketch = it->second;
+  EXPECT_EQ(sketch.count(), static_cast<std::int64_t>(exact.size()));
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(exact.size() - 1));
+    EXPECT_LE(std::abs(obs::QuantileSketch::bucket_of(sketch.quantile(q)) -
+                       obs::QuantileSketch::bucket_of(exact[rank])),
+              1)
+        << "q=" << q;
   }
 }
 

@@ -98,19 +98,40 @@ TEST(Histogram, BucketsByInclusiveUpperEdgeWithOverflow) {
   obs::Histogram h({0, 10});
   h.observe(5);
   h.observe(20);
-  EXPECT_EQ(h.to_string(), "count=2 sum=25 min=5 max=20 le0=0 le10=1 rest=1");
+  EXPECT_EQ(h.to_string(),
+            "count=2 sum=25 min=5 max=20 under=0 le0=0 le10=1 over=1");
 }
 
 TEST(Histogram, DefaultPacingBoundsCoverBothSigns) {
   obs::Histogram h;
-  h.observe(-20'000);  // below the lowest edge still lands in a bucket
+  h.observe(-20'000);  // below the lowest edge -> explicit underflow
   h.observe(0);
   h.observe(200'000);  // beyond the highest edge -> overflow
   EXPECT_EQ(h.count(), 3);
   EXPECT_EQ(h.min(), -20'000);
   EXPECT_EQ(h.max(), 200'000);
-  EXPECT_EQ(h.bucket_counts().front(), 1);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.bucket_counts().front(), 0);  // not clipped into a bucket
+  EXPECT_EQ(h.overflow(), 1);
   EXPECT_EQ(h.bucket_counts().back(), 1);
+}
+
+TEST(Histogram, UnderAndOverflowAreNeverSilent) {
+  // The regression this guards: out-of-range mass used to be invisible in
+  // the rendering (underflow widened the first bucket, overflow hid
+  // behind "rest="). Both ends must show up in to_string verbatim.
+  obs::Histogram h({-10, 10});
+  h.observe(-50);
+  h.observe(-50);
+  h.observe(0);
+  h.observe(99);
+  EXPECT_EQ(h.underflow(), 2);
+  EXPECT_EQ(h.overflow(), 1);
+  // min/max/count/sum still include the out-of-range samples.
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), -1);
+  EXPECT_EQ(h.to_string(),
+            "count=4 sum=-1 min=-50 max=99 under=2 le-10=0 le10=1 over=1");
 }
 
 TEST(MetricsRegistry, EmitsSortedAcrossKindsRegardlessOfInsertionOrder) {
@@ -122,9 +143,9 @@ TEST(MetricsRegistry, EmitsSortedAcrossKindsRegardlessOfInsertionOrder) {
   reg.histogram("mm/err").observe(5);
   EXPECT_EQ(reg.to_string(),
             "aa/depth: gauge 9\n"
-            "mm/err: histogram count=1 sum=5 min=5 max=5 le-10000=0 "
-            "le-1000=0 le-100=0 le-10=0 le0=0 le10=1 le100=0 le1000=0 "
-            "le10000=0 le100000=0 rest=0\n"
+            "mm/err: histogram count=1 sum=5 min=5 max=5 under=0 "
+            "le-10000=0 le-1000=0 le-100=0 le-10=0 le0=0 le10=1 le100=0 "
+            "le1000=0 le10000=0 le100000=0 over=0\n"
             "zz/events: counter 5\n");
 }
 

@@ -20,6 +20,19 @@
 //                     and print the run's metrics registry
 //   --qlog-dir DIR    with --trace: write DIR/path.<rep>.qlog (path-qlog
 //                     JSONL) and DIR/path.<rep>.csv per repetition
+//
+// Fleet mode (--flows N with N >= 2) runs one N-flow fabric over a shared
+// bottleneck instead of repetitions of a single flow:
+//   --flows N             number of competing senders (ids 10..)
+//   --trace-sample N      with --trace: record spans for 1 in N flows,
+//                         chosen deterministically from (seed, flow id)
+//   --window-ms N         fleet telemetry window width (default 10 when
+//                         any telemetry output below is requested)
+//   --timeseries-csv PATH windowed fleet time-series CSV
+//   --health-report PATH  deterministic run-health JSON ('-' = stdout)
+//   --health-exit         exit nonzero when the health report is unhealthy
+//                         (stalls / pacing spikes / drop bursts /
+//                         incomplete flows) — the CI gate switch
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -73,6 +86,67 @@ kernel::GsoMode parse_gso(const std::string& value) {
   usage_error("unknown gso mode '" + value + "'");
 }
 
+/// Fleet mode: one N-flow fabric, telemetry, health report. Returns the
+/// process exit code.
+int run_fleet(const framework::ExperimentConfig& base, int flows, int jobs,
+              std::uint32_t trace_sample, std::int64_t window_ms,
+              const std::string& timeseries_csv,
+              const std::string& health_path, bool health_exit) {
+  framework::MultiFlowConfig fleet;
+  fleet.seed = base.seed;
+  fleet.flows.assign(static_cast<std::size_t>(flows), {base});
+  // Raw per-flow sample vectors cost too much at fabric scale; stream the
+  // summaries instead (same switch the 10k benches use).
+  fleet.lite_metrics = flows >= 64;
+  fleet.trace_sample = trace_sample;
+  const bool telemetry_requested =
+      window_ms > 0 || !timeseries_csv.empty() || !health_path.empty();
+  if (telemetry_requested) {
+    fleet.telemetry_window = sim::Duration::millis(window_ms > 0 ? window_ms
+                                                                 : 10);
+  }
+
+  framework::MultiFlowResult result =
+      framework::ParallelRunner(jobs).run_flow_shards(fleet);
+
+  std::int64_t completed = 0;
+  for (const auto& flow : result.flows) completed += flow.completed ? 1 : 0;
+  std::printf("  fleet: %d flows, %lld completed, fairness=%.4f "
+              "bottleneck_drops=%lld\n",
+              flows, static_cast<long long>(completed), result.fairness,
+              static_cast<long long>(result.bottleneck_drops));
+  if (result.timeseries != nullptr) {
+    std::printf("  telemetry: %zu windows (%lld evicted), width=%lld us\n",
+                result.timeseries->size(),
+                static_cast<long long>(result.timeseries->evicted_windows()),
+                static_cast<long long>(result.timeseries->width().us()));
+  }
+
+  if (!timeseries_csv.empty() && result.timeseries != nullptr) {
+    std::ofstream out(timeseries_csv);
+    out << result.timeseries->to_csv();
+  }
+
+  const obs::HealthReport health = framework::fleet_health(fleet, result);
+  if (!health_path.empty()) {
+    const std::string json = health.to_json();
+    if (health_path == "-") {
+      std::fputs(json.c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::ofstream out(health_path);
+      out << json << '\n';
+    }
+  }
+  std::printf("  health: %s (%zu stalls, %zu pacing spikes, %zu drop "
+              "bursts)\n",
+              health.healthy() ? "ok" : "UNHEALTHY", health.stalls.size(),
+              health.pacing_spikes.size(), health.drop_bursts.size());
+
+  if (health_exit && !health.healthy()) return 1;
+  return completed == flows ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,6 +154,12 @@ int main(int argc, char** argv) {
   config.label = "cli";
   std::string csv_prefix;
   std::string qlog_dir;
+  int flows = 1;
+  std::uint32_t trace_sample = 0;
+  std::int64_t window_ms = 0;
+  std::string timeseries_csv;
+  std::string health_path;
+  bool health_exit = false;
   int jobs = 0;  // 0 = QUICSTEPS_JOBS env, then hardware concurrency.
 
   auto next_value = [&](int& i) -> std::string {
@@ -136,6 +216,19 @@ int main(int argc, char** argv) {
       config.trace = true;
     } else if (flag == "--qlog-dir") {
       qlog_dir = next_value(i);
+    } else if (flag == "--flows") {
+      flows = std::stoi(next_value(i));
+      if (flows < 1) usage_error("--flows needs a positive count");
+    } else if (flag == "--trace-sample") {
+      trace_sample = static_cast<std::uint32_t>(std::stoul(next_value(i)));
+    } else if (flag == "--window-ms") {
+      window_ms = std::stoll(next_value(i));
+    } else if (flag == "--timeseries-csv") {
+      timeseries_csv = next_value(i);
+    } else if (flag == "--health-report") {
+      health_path = next_value(i);
+    } else if (flag == "--health-exit") {
+      health_exit = true;
     } else if (flag == "--help" || flag == "-h") {
       std::printf("see the header comment of tools/quicsteps_cli.cpp\n");
       return 0;
@@ -153,6 +246,11 @@ int main(int argc, char** argv) {
               config.repetitions);
 
   if (!qlog_dir.empty()) config.trace = true;  // --qlog-dir implies --trace
+
+  if (flows > 1) {
+    return run_fleet(config, flows, jobs, trace_sample, window_ms,
+                     timeseries_csv, health_path, health_exit);
+  }
 
   std::ofstream summary;
   if (!csv_prefix.empty()) {
@@ -216,7 +314,9 @@ int main(int argc, char** argv) {
     }
     if (!csv_prefix.empty()) {
       framework::write_summary_csv(summary, config.label, run, rep == 0);
-      const std::string tag = "." + std::to_string(rep) + ".csv";
+      std::string tag = ".";
+      tag += std::to_string(rep);
+      tag += ".csv";
       std::ofstream gaps(csv_prefix + "_gaps" + tag);
       framework::write_gaps_csv(gaps, run);
       std::ofstream cwnd(csv_prefix + "_cwnd" + tag);
